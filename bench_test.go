@@ -1,0 +1,366 @@
+// Package hoiho_bench regenerates every table and figure of the paper's
+// evaluation as Go benchmarks. Each benchmark prints the rows it
+// reproduces once (so `go test -bench . -benchmem` doubles as the
+// experiment harness; `cmd/geoeval` prints the same rows without the
+// timing) and then measures the experiment's computation over cached
+// worlds.
+//
+// Experiment index (see DESIGN.md §3):
+//
+//	BenchmarkTable1_ITDKSummary        paper Table 1
+//	BenchmarkTable2_Coverage           paper Table 2
+//	BenchmarkTable3_Classification     paper Table 3
+//	BenchmarkTable4_GeohintTypes       paper Table 4
+//	BenchmarkTable5_LearnedHints       paper Table 5
+//	BenchmarkTable6_HintValidation     paper Table 6
+//	BenchmarkFig5_RTTCDF               paper Figure 5
+//	BenchmarkFig9_MethodComparison     paper Figure 9
+//	BenchmarkFig10_LearnedHintProps    paper Figure 10
+//	BenchmarkFig11_HintCorrectness     paper Figure 11
+//	BenchmarkAblation_NoLearnedHints       §6.1 ablation
+//	BenchmarkAblation_TracerouteOnly       DRoP-style constraint ablation (§3.3 critique)
+//	BenchmarkAblation_RankingPriors        facility/population prior ablation (§5.4)
+//	BenchmarkAblation_PPVThreshold         usability threshold sweep (§5.5)
+//	BenchmarkAblation_CongruenceThreshold  congruent-router threshold sweep (§5.4)
+//	BenchmarkPipeline_FullRun              end-to-end pipeline cost
+package hoiho_bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"hoiho/internal/core"
+	"hoiho/internal/eval"
+	"hoiho/internal/rtt"
+	"hoiho/internal/synth"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *eval.Suite
+	suiteErr  error
+)
+
+func loadSuite(b *testing.B) *eval.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suite, suiteErr = eval.RunSuite(eval.PresetNames, 1.0)
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suite
+}
+
+var printOnce sync.Map
+
+// printExperiment emits an experiment's rows exactly once per process.
+func printExperiment(name, body string) {
+	if _, dup := printOnce.LoadOrStore(name, true); dup {
+		return
+	}
+	fmt.Printf("\n== %s ==\n%s", name, body)
+}
+
+func BenchmarkTable1_ITDKSummary(b *testing.B) {
+	s := loadSuite(b)
+	printExperiment("Table 1: ITDK summaries", eval.ComputeTable1(s.Worlds).Format())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eval.ComputeTable1(s.Worlds)
+	}
+}
+
+func BenchmarkTable2_Coverage(b *testing.B) {
+	s := loadSuite(b)
+	printExperiment("Table 2: coverage of usable NCs",
+		eval.ComputeTable2(s.Worlds, s.Results).Format())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eval.ComputeTable2(s.Worlds, s.Results)
+	}
+}
+
+func BenchmarkTable3_Classification(b *testing.B) {
+	s := loadSuite(b)
+	printExperiment("Table 3: classification of NCs",
+		eval.ComputeTable3(s.Worlds, s.Results).Format())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eval.ComputeTable3(s.Worlds, s.Results)
+	}
+}
+
+func BenchmarkTable4_GeohintTypes(b *testing.B) {
+	s := loadSuite(b)
+	printExperiment("Table 4: geohint types and annotations",
+		eval.ComputeTable4(s.Results[0]).Format())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eval.ComputeTable4(s.Results[0])
+	}
+}
+
+func BenchmarkTable5_LearnedHints(b *testing.B) {
+	s := loadSuite(b)
+	printExperiment("Table 5: most frequently learned 3-letter geohints",
+		eval.ComputeTable5Multi(s.Results, s.Worlds[0].Dict, 1).Format())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eval.ComputeTable5Multi(s.Results, s.Worlds[0].Dict, 1)
+	}
+}
+
+func BenchmarkTable6_HintValidation(b *testing.B) {
+	s := loadSuite(b)
+	printExperiment("Table 6: validation of learned geohints",
+		eval.ComputeTable6(s.Worlds[0], s.Results[0]).Format())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eval.ComputeTable6(s.Worlds[0], s.Results[0])
+	}
+}
+
+func BenchmarkFig5_RTTCDF(b *testing.B) {
+	s := loadSuite(b)
+	printExperiment("Figure 5: ping vs traceroute RTTs",
+		eval.ComputeFig5(s.Worlds[0]).Format())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eval.ComputeFig5(s.Worlds[0])
+	}
+}
+
+func BenchmarkFig9_MethodComparison(b *testing.B) {
+	s := loadSuite(b)
+	f := eval.ComputeFig9(s.Worlds[0], s.Results[0])
+	printExperiment("Figure 9: method comparison (40 km criterion)", f.Format())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eval.ComputeFig9(s.Worlds[0], s.Results[0])
+	}
+}
+
+func BenchmarkFig10_LearnedHintProps(b *testing.B) {
+	s := loadSuite(b)
+	printExperiment("Figure 10: learned geohint properties",
+		eval.ComputeFig10Multi(s.Worlds, s.Results).Format())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eval.ComputeFig10Multi(s.Worlds, s.Results)
+	}
+}
+
+func BenchmarkFig11_HintCorrectness(b *testing.B) {
+	s := loadSuite(b)
+	printExperiment("Figure 11: learned hint correctness vs closest-VP RTT",
+		eval.ComputeFig11Multi(s.Worlds, s.Results).Format())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eval.ComputeFig11Multi(s.Worlds, s.Results)
+	}
+}
+
+func BenchmarkAblation_NoLearnedHints(b *testing.B) {
+	s := loadSuite(b)
+	noLearn, err := eval.RunWorldNoLearn(s.Worlds[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	printExperiment("Ablation (§6.1): learned geohints on/off",
+		eval.ComputeAblation(s.Worlds[0], s.Results[0], noLearn).Format())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.LearnHints = false
+		if _, err := core.Run(s.Worlds[0].Inputs(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_TracerouteOnly replays the DRoP-era constraint
+// regime: the pipeline sees only traceroute-observed RTTs instead of
+// the followup ping campaign, demonstrating why the paper added
+// dedicated pings (§3.3, fig. 5).
+func BenchmarkAblation_TracerouteOnly(b *testing.B) {
+	s := loadSuite(b)
+	w := s.Worlds[0]
+	traceWorld := traceOnlyWorld(w)
+	res, err := core.Run(traceWorld.Inputs(), core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	withPings := eval.ComputeFig9Hoiho(w, s.Results[0])
+	traceOnly := eval.ComputeFig9Hoiho(traceWorld, res)
+	printExperiment("Ablation: followup pings vs traceroute-only RTTs",
+		fmt.Sprintf("%-22s %8s %8s\n%-22s %7.1f%% %7.1f%%\n%-22s %7.1f%% %7.1f%%\n",
+			"", "pings", "trace-only",
+			"correct (TP%)", withPings.TPPct(), traceOnly.TPPct(),
+			"PPV", 100*withPings.PPV(), 100*traceOnly.PPV()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(traceWorld.Inputs(), core.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// traceOnlyWorld clones a world with its ping matrix replaced by the
+// traceroute observations.
+func traceOnlyWorld(w *synth.World) *synth.World {
+	m := rtt.NewMatrix(w.Matrix.VPs())
+	for _, r := range w.Corpus.Routers {
+		for _, me := range w.Matrix.TraceMeasurements(r.ID) {
+			_ = m.SetPing(r.ID, me.VP.Name, me.Sample)
+			_ = m.SetTrace(r.ID, me.VP.Name, me.Sample)
+		}
+	}
+	clone := *w
+	clone.Matrix = m
+	return &clone
+}
+
+func BenchmarkPipeline_FullRun(b *testing.B) {
+	s := loadSuite(b)
+	in := s.Worlds[0].Inputs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(in, core.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorldGeneration(b *testing.B) {
+	p, err := synth.ITDKPreset("ipv4-aug2020")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.Generate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGeolocateHostname(b *testing.B) {
+	s := loadSuite(b)
+	w, res := s.Worlds[0], s.Results[0]
+	// Pick a usable NC and one of its hostnames.
+	var host string
+	var nc *core.NamingConvention
+	for h, suffix := range w.HintHostnames {
+		if c := res.NCs[suffix]; c != nil && c.Class.Usable() {
+			if _, ok := core.Geolocate(c, w.Dict, h); ok {
+				host, nc = h, c
+				break
+			}
+		}
+	}
+	if nc == nil {
+		b.Fatal("no usable NC found")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := core.Geolocate(nc, w.Dict, host); !ok {
+			b.Fatal("geolocate failed")
+		}
+	}
+}
+
+// BenchmarkAblation_RankingPriors disables stage 4's facility/population
+// candidate priors (DESIGN.md §4, item 4) and reports learned-hint
+// validation with and without them.
+func BenchmarkAblation_RankingPriors(b *testing.B) {
+	s := loadSuite(b)
+	w := s.Worlds[0]
+	cfg := core.DefaultConfig()
+	cfg.LearnRankFacility = false
+	cfg.LearnRankPopulation = false
+	res, err := core.Run(w.Inputs(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	withPriors := eval.ComputeTable6(w, s.Results[0])
+	without := eval.ComputeTable6(w, res)
+	printExperiment("Ablation: facility/population ranking priors",
+		fmt.Sprintf("with priors:    %d/%d learned hints verified\nwithout priors: %d/%d learned hints verified\n",
+			withPriors.Correct, withPriors.Total, without.Correct, without.Total))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(w.Inputs(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_PPVThreshold sweeps the usability thresholds of
+// §5.5 (DESIGN.md §4, item 3) and reports the classification mix.
+func BenchmarkAblation_PPVThreshold(b *testing.B) {
+	s := loadSuite(b)
+	w := s.Worlds[0]
+	var report strings.Builder
+	fmt.Fprintf(&report, "%-12s %6s %10s %6s\n", "good-PPV", "good", "promising", "poor")
+	for _, goodPPV := range []float64{0.80, 0.90, 0.95, 0.99} {
+		cfg := core.DefaultConfig()
+		cfg.GoodPPV = goodPPV
+		res, err := core.Run(w.Inputs(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		good, prom, poor := 0, 0, 0
+		for _, nc := range res.NCs {
+			switch nc.Class {
+			case core.Good:
+				good++
+			case core.Promising:
+				prom++
+			default:
+				poor++
+			}
+		}
+		fmt.Fprintf(&report, "%-12.2f %6d %10d %6d\n", goodPPV, good, prom, poor)
+	}
+	printExperiment("Ablation: NC usability PPV threshold sweep", report.String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.GoodPPV = 0.95
+		if _, err := core.Run(w.Inputs(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_CongruenceThreshold sweeps the congruent-router
+// requirement for learning hints without an annotation (DESIGN.md §4,
+// item 5) and reports how many hints are learned and verified.
+func BenchmarkAblation_CongruenceThreshold(b *testing.B) {
+	s := loadSuite(b)
+	w := s.Worlds[0]
+	var report strings.Builder
+	fmt.Fprintf(&report, "%-12s %8s %10s\n", "threshold", "learned", "verified")
+	for _, n := range []int{1, 2, 3, 5} {
+		cfg := core.DefaultConfig()
+		cfg.LearnCongruentNoCC = n
+		res, err := core.Run(w.Inputs(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t6 := eval.ComputeTable6(w, res)
+		fmt.Fprintf(&report, "%-12d %8d %6d/%d\n", n, t6.Total, t6.Correct, t6.Total)
+	}
+	printExperiment("Ablation: congruent-router threshold sweep", report.String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.LearnCongruentNoCC = 1
+		if _, err := core.Run(w.Inputs(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package hoiho_bench
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIWorkflow exercises the complete command-line workflow end to
+// end: generate a corpus, learn conventions, publish them, apply them
+// without measurement data, and render the validation website.
+func TestCLIWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binaries")
+	}
+	bin := t.TempDir()
+	data := filepath.Join(t.TempDir(), "corpus")
+	site := filepath.Join(t.TempDir(), "site")
+	ncFile := filepath.Join(t.TempDir(), "conventions.txt")
+
+	build := func(name string) string {
+		out := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, msg)
+		}
+		return out
+	}
+	run := func(path string, args ...string) string {
+		cmd := exec.Command(path, args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", filepath.Base(path), args, err, out)
+		}
+		return string(out)
+	}
+
+	geosynth := build("geosynth")
+	hoiho := build("hoiho")
+	geoweb := build("geoweb")
+	geodict := build("geodict")
+
+	// 1. Generate a small IPv6-preset corpus.
+	out := run(geosynth, "-preset", "ipv6-nov2020", "-out", data)
+	if !strings.Contains(out, "routers") {
+		t.Errorf("geosynth output: %s", out)
+	}
+	for _, f := range []string{"corpus.nodes", "corpus.names", "corpus.geo",
+		"corpus.links", "rtt.matrix", "truth.hints", "asn.map"} {
+		if _, err := os.Stat(filepath.Join(data, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+
+	// 2. Learn conventions and publish them.
+	out = run(hoiho, "-corpus", data, "-usable-only", "-write-nc", ncFile, "-names", "-asn")
+	if !strings.Contains(out, "good") || !strings.Contains(out, "regex") {
+		t.Errorf("hoiho learn output missing conventions:\n%s", out)
+	}
+	if !strings.Contains(out, "router-name conventions") ||
+		!strings.Contains(out, "ASN conventions") {
+		t.Errorf("hoiho -names/-asn output missing:\n%s", out)
+	}
+
+	// 3. Find a usable suffix and one of its hostnames from the corpus.
+	ncText, err := os.ReadFile(ncFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(ncText), "suffix ") {
+		t.Fatalf("conventions file empty:\n%s", ncText)
+	}
+
+	// 4. Apply the published conventions without the corpus.
+	suffix, host := pickGeolocatable(t, string(ncText), data)
+	if host != "" {
+		out = run(hoiho, "-nc", ncFile, "-suffix", suffix, "-geolocate", host)
+		if !strings.Contains(out, "->") {
+			t.Errorf("hoiho -nc geolocate output:\n%s", out)
+		}
+	}
+
+	// 5. Render the website.
+	out = run(geoweb, "-nc", ncFile, "-out", site)
+	if !strings.Contains(out, "pages") {
+		t.Errorf("geoweb output: %s", out)
+	}
+	if _, err := os.Stat(filepath.Join(site, "index.html")); err != nil {
+		t.Errorf("missing index.html: %v", err)
+	}
+
+	// 6. Dictionary queries answer.
+	out = run(geodict, "-iata", "ash")
+	if !strings.Contains(out, "Nashua") {
+		t.Errorf("geodict -iata ash: %s", out)
+	}
+}
+
+// pickGeolocatable scans the names file for a hostname under a suffix
+// that the conventions file covers.
+func pickGeolocatable(t *testing.T, ncText, dataDir string) (string, string) {
+	t.Helper()
+	suffixes := map[string]bool{}
+	for _, line := range strings.Split(ncText, "\n") {
+		if strings.HasPrefix(line, "suffix ") {
+			suffixes[strings.Fields(line)[1]] = true
+		}
+	}
+	names, err := os.ReadFile(filepath.Join(dataDir, "corpus.names"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(names), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			continue
+		}
+		host := fields[3]
+		for suffix := range suffixes {
+			if strings.HasSuffix(host, "."+suffix) {
+				return suffix, host
+			}
+		}
+	}
+	return "", ""
+}

@@ -1,0 +1,98 @@
+// Command geodict queries the embedded reference location dictionary.
+//
+// Usage:
+//
+//	geodict -stats
+//	geodict -iata lhr
+//	geodict -icao egll
+//	geodict -locode usqas
+//	geodict -clli asbnva
+//	geodict -place "fort collins"
+//	geodict -country uk
+//	geodict -address 529bryant
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hoiho/internal/geodict"
+)
+
+func main() {
+	stats := flag.Bool("stats", false, "print dictionary statistics")
+	iata := flag.String("iata", "", "look up a 3-letter IATA code")
+	icao := flag.String("icao", "", "look up a 4-letter ICAO code")
+	locode := flag.String("locode", "", "look up a 5-letter UN/LOCODE")
+	clli := flag.String("clli", "", "look up a 6-letter CLLI prefix")
+	place := flag.String("place", "", "look up a city or town name")
+	country := flag.String("country", "", "canonicalise a country token")
+	address := flag.String("address", "", "look up a facility street address token")
+	flag.Parse()
+
+	d, err := geodict.Default()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "geodict:", err)
+		os.Exit(1)
+	}
+
+	did := false
+	if *stats {
+		did = true
+		s := d.Stats()
+		fmt.Printf("airports=%d icao=%d locodes=%d clli=%d places=%d facilities=%d countries=%d states=%d\n",
+			s.Airports, s.ICAOs, s.Locodes, s.CLLIs, s.Places, s.Facilities, s.Countries, s.States)
+	}
+	if *iata != "" {
+		did = true
+		for _, a := range d.IATA(*iata) {
+			fmt.Printf("iata %s (%s): %s %s\n", a.IATA, a.ICAO, a.Loc.String(), a.Loc.Pos)
+		}
+	}
+	if *icao != "" {
+		did = true
+		if a := d.ICAO(*icao); a != nil {
+			fmt.Printf("icao %s (iata %s): %s %s\n", a.ICAO, a.IATA, a.Loc.String(), a.Loc.Pos)
+		}
+	}
+	if *locode != "" {
+		did = true
+		if c := d.Locode(*locode); c != nil {
+			fmt.Printf("locode %s: %s %s\n", c.Code, c.Loc.String(), c.Loc.Pos)
+		}
+	}
+	if *clli != "" {
+		did = true
+		if c := d.CLLI(*clli); c != nil {
+			fmt.Printf("clli %s: %s %s\n", c.Code, c.Loc.String(), c.Loc.Pos)
+		}
+	}
+	if *place != "" {
+		did = true
+		for _, loc := range d.Place(*place) {
+			fac := ""
+			if d.HasFacility(loc.City, loc.Region, loc.Country) {
+				fac = " [facility]"
+			}
+			fmt.Printf("place %s %s pop=%d%s\n", loc.String(), loc.Pos, loc.Population, fac)
+		}
+	}
+	if *country != "" {
+		did = true
+		if code, ok := d.CountryCode(*country); ok {
+			name, _ := d.CountryName(code)
+			fmt.Printf("country %s -> %s (%s)\n", *country, code, name)
+		}
+	}
+	if *address != "" {
+		did = true
+		for _, f := range d.FacilityByAddress(*address) {
+			fmt.Printf("facility %s, %s: %s %s\n", f.Name, f.Address, f.Loc.String(), f.Loc.Pos)
+		}
+	}
+	if !did {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

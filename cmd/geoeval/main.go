@@ -1,0 +1,118 @@
+// Command geoeval regenerates the paper's tables and figures over
+// synthetic ITDK worlds (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	geoeval -experiment all              # everything
+//	geoeval -experiment table3           # one table
+//	geoeval -experiment fig9 -scale 0.5  # smaller worlds
+//
+// Experiments: table1 table2 table3 table4 table5 table6 fig5 fig9
+// fig10 fig11 ablation all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hoiho/internal/core"
+	"hoiho/internal/eval"
+	"hoiho/internal/synth"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which table/figure to regenerate")
+	scale := flag.Float64("scale", 1.0, "world size multiplier")
+	flag.Parse()
+
+	runAll := *experiment == "all"
+	need4 := runAll
+	for _, e := range []string{"table1", "table2", "table3", "table5", "fig10", "fig11"} {
+		if *experiment == e {
+			need4 = true
+		}
+	}
+
+	var worlds []*synth.World
+	var results []*core.Result
+	var err error
+	if need4 {
+		var s *eval.Suite
+		s, err = eval.RunSuite(eval.PresetNames, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		worlds, results = s.Worlds, s.Results
+	} else {
+		var w *synth.World
+		var res *core.Result
+		w, res, err = eval.RunWorld("ipv4-aug2020", *scale)
+		if err != nil {
+			fatal(err)
+		}
+		worlds = []*synth.World{w}
+		results = []*core.Result{res}
+	}
+	w0, res0 := worlds[0], results[0]
+
+	show := func(name string) bool { return runAll || *experiment == name }
+
+	if show("table1") {
+		header("Table 1: ITDK summaries")
+		fmt.Print(eval.ComputeTable1(worlds).Format())
+	}
+	if show("table2") {
+		header("Table 2: coverage of usable NCs")
+		fmt.Print(eval.ComputeTable2(worlds, results).Format())
+	}
+	if show("table3") {
+		header("Table 3: classification of NCs")
+		fmt.Print(eval.ComputeTable3(worlds, results).Format())
+	}
+	if show("table4") {
+		header("Table 4: geohint types and annotations (" + w0.Name + ")")
+		fmt.Print(eval.ComputeTable4(res0).Format())
+	}
+	if show("table5") {
+		header("Table 5: most frequently learned 3-letter geohints (all ITDKs)")
+		fmt.Print(eval.ComputeTable5Multi(results, w0.Dict, 1).Format())
+	}
+	if show("table6") {
+		header("Table 6: validation of learned geohints")
+		fmt.Print(eval.ComputeTable6(w0, res0).Format())
+	}
+	if show("fig5") {
+		header("Figure 5: ping vs traceroute RTTs")
+		fmt.Print(eval.ComputeFig5(w0).Format())
+	}
+	if show("fig9") {
+		header("Figure 9: method comparison (40 km criterion)")
+		fmt.Print(eval.ComputeFig9(w0, res0).Format())
+	}
+	if show("fig10") {
+		header("Figure 10: learned geohint properties (all ITDKs)")
+		fmt.Print(eval.ComputeFig10Multi(worlds, results).Format())
+	}
+	if show("fig11") {
+		header("Figure 11: learned hint correctness vs closest-VP RTT (all ITDKs)")
+		fmt.Print(eval.ComputeFig11Multi(worlds, results).Format())
+	}
+	if show("ablation") {
+		header("Ablation (§6.1): learned geohints on/off")
+		noLearn, err := eval.RunWorldNoLearn(w0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(eval.ComputeAblation(w0, res0, noLearn).Format())
+	}
+}
+
+func header(s string) {
+	fmt.Printf("\n== %s ==\n", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "geoeval:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,137 @@
+// Command geosynth generates a synthetic ITDK-shaped corpus with its
+// measurement plane and ground truth, writing the five files the other
+// tools consume:
+//
+//	<out>/corpus.nodes   router and interface records
+//	<out>/corpus.names   PTR hostname records
+//	<out>/corpus.geo     per-router ground-truth locations
+//	<out>/corpus.links   router-level adjacencies
+//	<out>/rtt.matrix     vantage points and RTT samples
+//	<out>/truth.hints    intended meaning of every embedded geohint
+//	<out>/asn.map        interconnect address -> customer ASN
+//
+// Usage:
+//
+//	geosynth -preset ipv4-aug2020 -out data/aug2020 [-seed N] [-keep-spoofers]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"hoiho/internal/itdk"
+	"hoiho/internal/rtt"
+	"hoiho/internal/synth"
+)
+
+func main() {
+	preset := flag.String("preset", "ipv4-aug2020", "ITDK preset: ipv4-aug2020, ipv4-mar2021, ipv6-nov2020, ipv6-mar2021")
+	out := flag.String("out", "", "output directory (required)")
+	seed := flag.Int64("seed", 0, "override the preset's seed (0 = keep)")
+	keepSpoofers := flag.Bool("keep-spoofers", false, "do not filter TCP-spoofing vantage points")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "geosynth: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	p, err := synth.ITDKPreset(*preset)
+	if err != nil {
+		fatal(err)
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	w, err := synth.Generate(p)
+	if err != nil {
+		fatal(err)
+	}
+	if !*keepSpoofers {
+		if spoofers := w.CleanSpoofers(); len(spoofers) > 0 {
+			fmt.Printf("filtered TCP samples from spoofing VPs: %v\n", spoofers)
+		}
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	writeFile(filepath.Join(*out, "corpus.nodes"), func(f *os.File) error {
+		return itdk.WriteNodes(f, w.Corpus)
+	})
+	writeFile(filepath.Join(*out, "corpus.names"), func(f *os.File) error {
+		return itdk.WriteNames(f, w.Corpus)
+	})
+	writeFile(filepath.Join(*out, "corpus.geo"), func(f *os.File) error {
+		return itdk.WriteGeo(f, w.Corpus)
+	})
+	writeFile(filepath.Join(*out, "corpus.links"), func(f *os.File) error {
+		return itdk.WriteLinks(f, w.Corpus)
+	})
+	writeFile(filepath.Join(*out, "rtt.matrix"), func(f *os.File) error {
+		return rtt.WriteMatrix(f, w.Matrix)
+	})
+	writeFile(filepath.Join(*out, "asn.map"), func(f *os.File) error {
+		bw := bufio.NewWriter(f)
+		addrs := make([]string, 0, len(w.ASNs))
+		byAddr := make(map[string]uint32, len(w.ASNs))
+		for addr, a := range w.ASNs {
+			s := addr.String()
+			addrs = append(addrs, s)
+			byAddr[s] = a
+		}
+		sort.Strings(addrs)
+		for _, s := range addrs {
+			fmt.Fprintf(bw, "asn %s %d\n", s, byAddr[s])
+		}
+		return bw.Flush()
+	})
+	writeFile(filepath.Join(*out, "truth.hints"), func(f *os.File) error {
+		bw := bufio.NewWriter(f)
+		var suffixes []string
+		for s := range w.TruthHints {
+			suffixes = append(suffixes, s)
+		}
+		sort.Strings(suffixes)
+		for _, s := range suffixes {
+			hints := w.TruthHints[s]
+			var codes []string
+			for c := range hints {
+				codes = append(codes, c)
+			}
+			sort.Strings(codes)
+			for _, c := range codes {
+				loc := hints[c]
+				fmt.Fprintf(bw, "%s %s %s|%s|%s\n", s, c, loc.City, loc.Region, loc.Country)
+			}
+		}
+		return bw.Flush()
+	})
+
+	stats := w.Corpus.Stats()
+	fmt.Printf("%s: %d routers (%d with hostnames), %d VPs, %d operators -> %s\n",
+		w.Name, stats.Routers, stats.WithHostname, len(w.Matrix.VPs()), len(w.Specs), *out)
+}
+
+func writeFile(path string, fn func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "geosynth:", err)
+	os.Exit(1)
+}

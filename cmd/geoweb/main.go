@@ -1,0 +1,51 @@
+// Command geoweb renders learned naming conventions as a static website
+// — the per-suffix pages the paper published so operators could verify
+// or correct the inferences (§8).
+//
+// Usage:
+//
+//	geoweb -nc conventions.txt -out site/ [-title "Hoiho conventions"]
+//
+// The conventions file comes from `hoiho -write-nc`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hoiho/internal/core"
+	"hoiho/internal/webgen"
+)
+
+func main() {
+	ncFile := flag.String("nc", "", "published conventions file (required)")
+	out := flag.String("out", "", "output directory (required)")
+	title := flag.String("title", "Hoiho naming conventions", "site title")
+	flag.Parse()
+	if *ncFile == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "geoweb: -nc and -out are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*ncFile)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := core.ReadConventions(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	site := webgen.NewSite(*title, res)
+	pages, err := site.Generate(*out)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d pages to %s\n", pages, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "geoweb:", err)
+	os.Exit(1)
+}

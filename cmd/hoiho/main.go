@@ -1,0 +1,257 @@
+// Command hoiho learns naming conventions that extract geographic hints
+// from router hostnames — the reproduction of CAIDA's sc_hoiho
+// geolocation module. It reads an ITDK-shaped corpus and RTT matrix
+// (e.g. produced by geosynth), runs the five-stage pipeline, and prints
+// the learned regexes, custom geohints, and classification per suffix.
+//
+// Usage:
+//
+//	hoiho -corpus data/aug2020 [-no-learn] [-suffix ntt.net] [-geolocate host]
+//	hoiho -corpus data/aug2020 -write-nc conventions.txt
+//	hoiho -nc conventions.txt -geolocate host      # apply without a corpus
+//
+// The -corpus directory must contain corpus.nodes, corpus.names, and
+// rtt.matrix (corpus.geo is optional and ignored by learning). A
+// conventions file written with -write-nc can later be applied with
+// -nc, without any measurement data — the paper's published-regexes
+// workflow.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hoiho/internal/asn"
+	"hoiho/internal/core"
+	"hoiho/internal/geodict"
+	"hoiho/internal/itdk"
+	"hoiho/internal/names"
+	"hoiho/internal/psl"
+	"hoiho/internal/rtt"
+)
+
+func main() {
+	dir := flag.String("corpus", "", "directory with corpus.nodes/corpus.names/rtt.matrix")
+	ncFile := flag.String("nc", "", "apply a published conventions file instead of learning")
+	writeNC := flag.String("write-nc", "", "write the learned conventions to this file")
+	noLearn := flag.Bool("no-learn", false, "disable stage-4 custom geohint learning")
+	showNames := flag.Bool("names", false, "also learn and print router-name conventions")
+	showASN := flag.Bool("asn", false, "also learn and print ASN conventions (needs asn.map)")
+	onlySuffix := flag.String("suffix", "", "report only this suffix")
+	locate := flag.String("geolocate", "", "after learning, geolocate this hostname")
+	usableOnly := flag.Bool("usable-only", false, "print only good/promising conventions")
+	flag.Parse()
+	if *dir == "" && *ncFile == "" {
+		fmt.Fprintln(os.Stderr, "hoiho: one of -corpus or -nc is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var res *core.Result
+	var in core.Inputs
+	haveCorpus := false
+	if *ncFile != "" {
+		f, err := os.Open(*ncFile)
+		if err != nil {
+			fatal(err)
+		}
+		res, err = core.ReadConventions(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var err error
+		in, err = loadInputs(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		haveCorpus = true
+		cfg := core.DefaultConfig()
+		cfg.LearnHints = !*noLearn
+		res, err = core.Run(in, cfg)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *writeNC != "" {
+		f, err := os.Create(*writeNC)
+		if err != nil {
+			fatal(err)
+		}
+		if err := core.WriteConventions(f, res); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d conventions to %s\n", len(res.NCs), *writeNC)
+	}
+
+	var suffixes []string
+	for s := range res.NCs {
+		if *onlySuffix != "" && s != *onlySuffix {
+			continue
+		}
+		suffixes = append(suffixes, s)
+	}
+	sort.Strings(suffixes)
+
+	for _, s := range suffixes {
+		nc := res.NCs[s]
+		if *usableOnly && !nc.Class.Usable() {
+			continue
+		}
+		t := nc.Tally
+		fmt.Printf("%s: %s  TP=%d FP=%d FN=%d UNK=%d ATP=%d PPV=%.1f%% hints=%d\n",
+			s, nc.Class, t.TP, t.FP, t.FN, t.UNK, t.ATP(), 100*t.PPV(), t.UniqueHints)
+		for _, r := range nc.Regexes {
+			fmt.Printf("  regex [%s] %s\n", r.Hint, r)
+		}
+		for _, lh := range nc.Learned {
+			fmt.Printf("  learned %s (tp=%d fp=%d)\n", lh, lh.TP, lh.FP)
+		}
+	}
+	fmt.Printf("\nsuffixes with apparent geohints: %d; routers with geohints: %d; geolocated: %d\n",
+		res.SuffixesWithGeohint, res.RoutersWithGeohint, res.RoutersGeolocated)
+
+	if *showNames {
+		if !haveCorpus {
+			fatal(fmt.Errorf("-names requires -corpus"))
+		}
+		fmt.Println("\nrouter-name conventions:")
+		for _, c := range names.Learn(in.Corpus, in.PSL, 2) {
+			fmt.Printf("  %s: %s (routers=%d collisions=%d missed=%d)\n",
+				c.Suffix, c.Pattern, c.Routers, c.Collisions, c.Missed)
+		}
+	}
+	if *showASN {
+		if !haveCorpus {
+			fatal(fmt.Errorf("-asn requires -corpus"))
+		}
+		mapping, err := loadASNMap(filepath.Join(*dir, "asn.map"))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("\nASN conventions:")
+		for _, c := range asn.Learn(in.Corpus, in.PSL, mapping, asn.DefaultConfig()) {
+			fmt.Printf("  %s: %s (tp=%d fp=%d ppv=%.0f%%)\n",
+				c.Suffix, c.Pattern, c.TP, c.FP, 100*c.PPV())
+		}
+	}
+
+	if *locate != "" {
+		dict := geodict.MustDefault()
+		list := psl.MustDefault()
+		suffix := list.RegistrableDomain(*locate)
+		nc := res.NCs[suffix]
+		if nc == nil {
+			fatal(fmt.Errorf("no convention learned for suffix %q", suffix))
+		}
+		g, ok := core.Geolocate(nc, dict, *locate)
+		if !ok {
+			fatal(fmt.Errorf("no regex in %s matches %q", suffix, *locate))
+		}
+		learned := ""
+		if g.Learned {
+			learned = " (learned hint)"
+		}
+		fmt.Printf("\n%s -> %s via %s %q%s at %s\n",
+			*locate, g.Loc.String(), g.Type, g.Hint, learned, g.Loc.Pos)
+	}
+}
+
+// loadASNMap parses "asn <addr> <asn>" records.
+func loadASNMap(path string) (asn.AddrMap, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m := asn.AddrMap{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		if len(fields) != 3 || fields[0] != "asn" {
+			return nil, fmt.Errorf("asn.map: malformed line %q", sc.Text())
+		}
+		addr, err := netip.ParseAddr(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseUint(fields[2], 10, 32)
+		if err != nil {
+			return nil, err
+		}
+		m[addr] = uint32(n)
+	}
+	return m, sc.Err()
+}
+
+func loadInputs(dir string) (core.Inputs, error) {
+	var in core.Inputs
+	dict, err := geodict.Default()
+	if err != nil {
+		return in, err
+	}
+	list, err := psl.Default()
+	if err != nil {
+		return in, err
+	}
+
+	corpus, err := readCorpus(dir)
+	if err != nil {
+		return in, err
+	}
+	mf, err := os.Open(filepath.Join(dir, "rtt.matrix"))
+	if err != nil {
+		return in, err
+	}
+	defer mf.Close()
+	matrix, err := rtt.ReadMatrix(mf)
+	if err != nil {
+		return in, err
+	}
+	return core.Inputs{Dict: dict, PSL: list, Corpus: corpus, RTT: matrix}, nil
+}
+
+// readCorpus concatenates the nodes and names files (geo is optional).
+func readCorpus(dir string) (*itdk.Corpus, error) {
+	var readers []io.Reader
+	var closers []io.Closer
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	for _, name := range []string{"corpus.nodes", "corpus.names", "corpus.geo"} {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			if name == "corpus.geo" && os.IsNotExist(err) {
+				continue
+			}
+			return nil, err
+		}
+		closers = append(closers, f)
+		readers = append(readers, f)
+	}
+	return itdk.ReadCorpus(io.MultiReader(readers...), filepath.Base(dir), false)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hoiho:", err)
+	os.Exit(1)
+}

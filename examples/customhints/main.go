@@ -1,0 +1,122 @@
+// Customhints reproduces figure 8 of the paper: stage 4 learning that
+// (a) he.net repurposes the IATA code "ash" (Nashua, NH) to mean
+// Ashburn, VA, and (b) ntt.net invented the CLLI-shaped code "mlanit"
+// for Milan, IT — a code absent from the CLLI dictionary, learned from a
+// single pair of congruent routers because the hostname also carries
+// the country code.
+//
+// Run with:
+//
+//	go run ./examples/customhints
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+
+	"hoiho/internal/core"
+	"hoiho/internal/geo"
+	"hoiho/internal/geodict"
+	"hoiho/internal/itdk"
+	"hoiho/internal/psl"
+	"hoiho/internal/rtt"
+)
+
+type world struct {
+	dict   *geodict.Dictionary
+	matrix *rtt.Matrix
+	corpus *itdk.Corpus
+	ip     int
+}
+
+func main() {
+	dict := geodict.MustDefault()
+	list := psl.MustDefault()
+	vps := []*rtt.VP{
+		vpAt(dict, "cgs-us", "college park", "md", "us"),
+		vpAt(dict, "sjc-us", "san jose", "ca", "us"),
+		vpAt(dict, "zrh-ch", "zurich", "zh", "ch"),
+		vpAt(dict, "lon-gb", "london", "", "gb"),
+		vpAt(dict, "nyc-us", "new york", "ny", "us"),
+	}
+	w := &world{dict: dict, matrix: rtt.NewMatrix(vps), corpus: itdk.NewCorpus("fig8", false)}
+
+	// Figure 8a: he.net embeds IATA codes; "ash" means Ashburn, VA.
+	fmt.Println("figure 8a: learning that \"ash\" means Ashburn, VA for he.net")
+	fmt.Printf("  IATA dictionary says ash = %s\n", dict.IATA("ash")[0].Loc.String())
+	w.add("he1", "san jose", "100ge1-2.core1.sjc1.he.net")
+	w.add("he2", "san jose", "100ge3-1.core2.sjc1.he.net")
+	w.add("he3", "london", "100ge1-1.core1.lhr1.he.net")
+	w.add("he4", "london", "100ge9-2.core2.lhr1.he.net")
+	w.add("he5", "new york", "100ge2-1.core1.jfk1.he.net")
+	w.add("he6", "new york", "100ge2-2.core2.jfk1.he.net")
+	w.add("he7", "ashburn", "gcr-company.gigabitethernet4-1.core1.ash1.he.net")
+	w.add("he8", "ashburn", "100ge1-2.core1.ash1.he.net")
+	w.add("he9", "ashburn", "100ge10-1.core2.ash1.he.net")
+	w.add("he10", "ashburn", "46-labs-llc.ve401.core2.ash1.he.net")
+
+	// Figure 8b: NTT embeds CLLI prefixes plus a country code, with the
+	// invented "mlanit" for Milan.
+	fmt.Println("figure 8b: learning that \"mlanit, it\" means Milan, IT for ntt.net")
+	fmt.Printf("  CLLI dictionary has no entry for mlanit: %v\n", dict.CLLI("mlanit") == nil)
+	w.add("ntt1", "san jose", "ae-2.r20.snjsca04.us.bb.gin.ntt.net")
+	w.add("ntt2", "san jose", "ae-3.r21.snjsca04.us.bb.gin.ntt.net")
+	w.add("ntt3", "seattle", "ae-1.r10.sttlwa01.us.bb.gin.ntt.net")
+	w.add("ntt4", "seattle", "xe-0.r11.sttlwa01.us.bb.gin.ntt.net")
+	w.add("ntt5", "london", "ae-5.r22.londen12.uk.bb.gin.ntt.net")
+	w.add("ntt6", "london", "ae-6.r23.londen12.uk.bb.gin.ntt.net")
+	w.add("ntt7", "milan", "ae-7.r02.mlanit01.it.bb.gin.ntt.net")
+	w.add("ntt8", "milan", "ae-3.r21.mlanit02.it.bb.gin.ntt.net")
+
+	in := core.Inputs{Dict: dict, PSL: list, Corpus: w.corpus, RTT: w.matrix}
+	for _, suffix := range []string{"he.net", "ntt.net"} {
+		nc, _, err := core.RunSuffix(in, core.DefaultConfig(), suffix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if nc == nil {
+			log.Fatalf("no convention learned for %s", suffix)
+		}
+		fmt.Printf("\n%s (%s):\n", suffix, nc.Class)
+		for _, r := range nc.Regexes {
+			fmt.Printf("  %s\n", r)
+		}
+		for _, lh := range nc.Learned {
+			collide := ""
+			if lh.Collide {
+				collide = "  (collides with a dictionary code)"
+			}
+			fmt.Printf("  learned: %s  tp=%d fp=%d%s\n", lh, lh.TP, lh.FP, collide)
+		}
+	}
+}
+
+// add registers a router at a city with honest delay measurements.
+func (w *world) add(id, city, hostname string) {
+	loc := w.dict.Place(city)[0]
+	w.ip++
+	r := &itdk.Router{ID: id, Interfaces: []itdk.Interface{{
+		Addr:     netip.MustParseAddr(fmt.Sprintf("198.51.100.%d", w.ip)),
+		Hostname: hostname,
+	}}}
+	if err := w.corpus.Add(r); err != nil {
+		log.Fatal(err)
+	}
+	for _, vp := range w.matrix.VPs() {
+		s := rtt.Sample{RTTms: geo.MinRTTms(vp.Pos, loc.Pos)*1.3 + 1, Method: rtt.ICMP}
+		if err := w.matrix.SetPing(id, vp.Name, s); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func vpAt(d *geodict.Dictionary, name, city, region, country string) *rtt.VP {
+	for _, loc := range d.Place(city) {
+		if loc.Region == region && loc.Country == country {
+			return &rtt.VP{Name: name, City: city, Country: country, Pos: loc.Pos}
+		}
+	}
+	log.Fatalf("unknown VP city %q", city)
+	return nil
+}

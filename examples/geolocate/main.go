@@ -1,0 +1,87 @@
+// Geolocate demonstrates the end-to-end workflow a downstream user
+// follows: generate (or load) a corpus, learn conventions once, then
+// geolocate a stream of hostnames — including hostnames the learner
+// never saw — and fall back to constraint-based geolocation (CBG
+// multilateration over the RTT matrix) for routers whose hostnames
+// carry no geohint.
+//
+// Run with:
+//
+//	go run ./examples/geolocate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hoiho/internal/core"
+	"hoiho/internal/geo"
+	"hoiho/internal/psl"
+	"hoiho/internal/synth"
+)
+
+func main() {
+	p, err := synth.ITDKPreset("ipv6-nov2020")
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := synth.Generate(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.CleanSpoofers()
+
+	res, err := core.Run(w.Inputs(), core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("learned %d conventions (%d usable)\n\n", len(res.NCs), len(res.UsableNCs()))
+
+	list := psl.MustDefault()
+
+	// Geolocate every hostname in the corpus through the learned NCs;
+	// for routers without a usable hostname answer, fall back to CBG.
+	located, cbgLocated, failed := 0, 0, 0
+	shown := 0
+	for _, r := range w.Corpus.Routers {
+		truth := w.TruthRouter[r.ID]
+		var answer *geo.LatLong
+		var how string
+
+		for _, host := range r.Hostnames() {
+			suffix := list.RegistrableDomain(host)
+			nc := res.NCs[suffix]
+			if nc == nil || !nc.Class.Usable() {
+				continue
+			}
+			if g, ok := core.Geolocate(nc, w.Dict, host); ok {
+				answer, how = &g.Loc.Pos, fmt.Sprintf("hostname %q via %s", g.Hint, g.Type)
+				break
+			}
+		}
+		if answer == nil {
+			// CBG fallback: multilaterate the router's RTT constraints.
+			if cs := w.Matrix.Constraints(r.ID); len(cs) > 0 {
+				if region, err := geo.Multilaterate(cs, 24); err == nil {
+					answer, how = &region.Center,
+						fmt.Sprintf("CBG over %d constraints (±%.0f km)", len(cs), region.ErrorRadiusKm)
+					cbgLocated++
+				}
+			}
+		} else {
+			located++
+		}
+		if answer == nil {
+			failed++
+			continue
+		}
+		if shown < 8 {
+			shown++
+			km := geo.DistanceKm(*answer, truth.Pos)
+			fmt.Printf("%-14s %-22s err=%6.0f km  (%s)\n",
+				r.ID, truth.String(), km, how)
+		}
+	}
+	fmt.Printf("\nhostname-geolocated %d routers, CBG-geolocated %d, no answer for %d (of %d)\n",
+		located, cbgLocated, failed, w.Corpus.Len())
+}

@@ -1,0 +1,132 @@
+// Quickstart: learn a naming convention from a handful of router
+// hostnames and geolocate a new hostname with it.
+//
+// The corpus is an he.net-style network embedding IATA codes, with the
+// operator's custom "ash" code for Ashburn, VA — the paper's running
+// example (fig. 1, fig. 8a).
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+
+	"hoiho/internal/core"
+	"hoiho/internal/geo"
+	"hoiho/internal/geodict"
+	"hoiho/internal/itdk"
+	"hoiho/internal/psl"
+	"hoiho/internal/rtt"
+)
+
+func main() {
+	dict := geodict.MustDefault()
+	list := psl.MustDefault()
+
+	// Vantage points with known locations (stage 1).
+	vps := []*rtt.VP{
+		vpAt(dict, "cgs-us", "college park", "md", "us"),
+		vpAt(dict, "sjc-us", "san jose", "ca", "us"),
+		vpAt(dict, "lon-gb", "london", "", "gb"),
+		vpAt(dict, "fra-de", "frankfurt am main", "he", "de"),
+		vpAt(dict, "tyo-jp", "tokyo", "", "jp"),
+	}
+	matrix := rtt.NewMatrix(vps)
+	corpus := itdk.NewCorpus("quickstart", false)
+
+	// A small he.net-style corpus: hostnames embed IATA codes, except
+	// the operator uses "ash" (an IATA code for Nashua, NH) to mean
+	// Ashburn, VA.
+	sites := []struct {
+		code string
+		city string
+		n    int
+	}{
+		{"sjc", "san jose", 3},
+		{"fra", "frankfurt am main", 3},
+		{"lhr", "london", 3},
+		{"tyo", "tokyo", 3},
+		{"ash", "ashburn", 4},
+	}
+	id, ip := 0, 0
+	for _, s := range sites {
+		loc := placeIn(dict, s.city)
+		for i := 1; i <= s.n; i++ {
+			id++
+			ip++
+			rid := fmt.Sprintf("N%d", id)
+			r := &itdk.Router{ID: rid, Interfaces: []itdk.Interface{{
+				Addr:     netip.MustParseAddr(fmt.Sprintf("192.0.2.%d", ip)),
+				Hostname: fmt.Sprintf("100ge%d-1.core%d.%s1.example.net", i, i, s.code),
+			}}}
+			if err := corpus.Add(r); err != nil {
+				log.Fatal(err)
+			}
+			// Honest delay measurements from every VP (min-of-three
+			// pings in a real campaign; here the closed form).
+			for _, vp := range vps {
+				s := rtt.Sample{RTTms: geo.MinRTTms(vp.Pos, loc.Pos)*1.25 + 1, Method: rtt.ICMP}
+				if err := matrix.SetPing(rid, vp.Name, s); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+
+	// Stages 2-5: learn the convention for example.net.
+	in := core.Inputs{Dict: dict, PSL: list, Corpus: corpus, RTT: matrix}
+	nc, _, err := core.RunSuffix(in, core.DefaultConfig(), "example.net")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if nc == nil {
+		log.Fatal("no convention learned")
+	}
+
+	fmt.Printf("learned convention for example.net (%s, PPV %.0f%%):\n",
+		nc.Class, 100*nc.Tally.PPV())
+	for _, r := range nc.Regexes {
+		fmt.Printf("  %s  [%s]\n", r, r.Hint)
+	}
+	for _, lh := range nc.Learned {
+		fmt.Printf("  learned custom geohint: %s\n", lh)
+	}
+
+	// Geolocate a hostname the pipeline never saw.
+	for _, host := range []string{
+		"gcr-peer.ve42.core9.ash1.example.net",
+		"te0-0-0.edge2.sjc1.example.net",
+	} {
+		g, ok := core.Geolocate(nc, dict, host)
+		if !ok {
+			log.Fatalf("failed to geolocate %s", host)
+		}
+		src := "dictionary"
+		if g.Learned {
+			src = "learned hint"
+		}
+		fmt.Printf("%s\n  -> %s (%s, via %s %q)\n", host, g.Loc.String(), g.Loc.Pos, src, g.Hint)
+	}
+}
+
+func vpAt(d *geodict.Dictionary, name, city, region, country string) *rtt.VP {
+	for _, loc := range d.Place(city) {
+		if loc.Region == region && loc.Country == country {
+			return &rtt.VP{Name: name, City: city, Country: country, Pos: loc.Pos}
+		}
+	}
+	log.Fatalf("unknown VP city %q", city)
+	return nil
+}
+
+func placeIn(d *geodict.Dictionary, city string) *geodict.Location {
+	ls := d.Place(city)
+	if len(ls) == 0 {
+		log.Fatalf("unknown city %q", city)
+	}
+	return ls[0]
+}

@@ -1,0 +1,133 @@
+// Package abbrev implements the abbreviation heuristics the Hoiho method
+// uses to learn operator-specific geohints (paper §5.4). Lacking the
+// surrounding text that NLP acronym learners rely on, the method accepts
+// a candidate string as an abbreviation of a place name when:
+//
+//  1. every character of the candidate appears in the place name in
+//     order, and the first characters match ("ash" ~ "Ashburn",
+//     "mlan" ~ "Milan");
+//  2. for multi-word place names, characters of a word may only be
+//     matched after that word's first letter has been matched
+//     ("nyk" ~ "New York", but "nwk" is rejected because "k" belongs to
+//     "york" whose "y" was never matched);
+//  3. when the convention being refined extracts full place names, the
+//     candidate must additionally share at least four contiguous
+//     characters with the place name ("ftcollins" ~ "Fort Collins").
+package abbrev
+
+import (
+	"strings"
+
+	"hoiho/internal/geodict"
+)
+
+// Matches reports whether abbr is an acceptable abbreviation of the
+// place name under rules 1 and 2. Both arguments may contain arbitrary
+// case and punctuation; matching is performed on lower-case words.
+func Matches(abbr, place string) bool {
+	abbr = strings.ToLower(strings.TrimSpace(abbr))
+	if abbr == "" {
+		return false
+	}
+	words := geodict.SplitWords(place)
+	if len(words) == 0 {
+		return false
+	}
+	// Rule 1: the first character of the abbreviation must match the
+	// first character of the place name.
+	if abbr[0] != words[0][0] {
+		return false
+	}
+	return matchWords(abbr, words)
+}
+
+// matchWords reports whether abbr can be matched as an in-order
+// subsequence of the concatenated words, where within each word the
+// word's first letter must be matched before any other letter of that
+// word. Implemented with memoized backtracking over (abbr index, word
+// index, position within word).
+func matchWords(abbr string, words []string) bool {
+	type state struct{ ai, wi, pi int }
+	seen := make(map[state]bool)
+
+	var rec func(ai, wi, pi int) bool
+	rec = func(ai, wi, pi int) bool {
+		if ai == len(abbr) {
+			return true
+		}
+		if wi == len(words) {
+			return false
+		}
+		st := state{ai, wi, pi}
+		if seen[st] {
+			return false
+		}
+		seen[st] = true
+
+		word := words[wi]
+		// Option A: advance to the next word (abandoning the rest of the
+		// current word). The next word's matching must begin at its
+		// first letter (pi=0 enforces rule 2: the first character
+		// matched in a word is its first letter).
+		if rec(ai, wi+1, 0) {
+			return true
+		}
+		// Option B: match abbr[ai] within the current word.
+		if pi == 0 {
+			// Must match the word's first letter first.
+			if abbr[ai] == word[0] && rec(ai+1, wi, 1) {
+				return true
+			}
+			return false
+		}
+		// The word has started; abbr[ai] may match any later character.
+		for p := pi; p < len(word); p++ {
+			if word[p] == abbr[ai] && rec(ai+1, wi, p+1) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0, 0, 0)
+}
+
+// MatchesPlaceName applies rule 3 on top of Matches: the candidate must
+// share a contiguous common substring of at least minContig characters
+// with the normalized place name. The paper uses minContig = 4 for
+// conventions that extract full place names.
+func MatchesPlaceName(abbr, place string, minContig int) bool {
+	if !Matches(abbr, place) {
+		return false
+	}
+	if minContig <= 1 {
+		return true
+	}
+	a := geodict.NormalizeName(abbr)
+	p := geodict.NormalizeName(place)
+	return longestCommonSubstring(a, p) >= minContig
+}
+
+// longestCommonSubstring returns the length of the longest contiguous
+// substring common to a and b (classic DP, O(len(a)*len(b))).
+func longestCommonSubstring(a, b string) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	best := 0
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+				if cur[j] > best {
+					best = cur[j]
+				}
+			} else {
+				cur[j] = 0
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return best
+}

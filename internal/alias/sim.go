@@ -1,0 +1,82 @@
+package alias
+
+import (
+	"math/rand"
+	"net/netip"
+	"sort"
+)
+
+// SimDevice is a simulated router: a shared IP-ID counter serving all of
+// its interface addresses — the behaviour MIDAR exploits.
+type SimDevice struct {
+	Addrs []netip.Addr
+	// Base is the counter's offset at t=0; Rate its advance per second.
+	Base uint16
+	Rate float64
+	// JitterIDs adds at most this many extra increments per probe
+	// (other traffic also consumes IDs).
+	JitterIDs int
+	// Unresponsive interfaces never answer.
+	Unresponsive map[netip.Addr]bool
+	// RandomID devices assign random IP-IDs (many modern stacks);
+	// MIDAR must discard them.
+	RandomID bool
+	// ConstantID devices always answer zero (another common stack).
+	ConstantID bool
+}
+
+// SimProber answers probes from a set of simulated devices.
+type SimProber struct {
+	byAddr map[netip.Addr]*SimDevice
+	rng    *rand.Rand
+	// Loss is the probability any single probe goes unanswered.
+	Loss float64
+}
+
+// NewSimProber indexes the devices. Addresses must be unique across
+// devices.
+func NewSimProber(devices []*SimDevice, seed int64, loss float64) *SimProber {
+	p := &SimProber{
+		byAddr: make(map[netip.Addr]*SimDevice),
+		rng:    rand.New(rand.NewSource(seed)),
+		Loss:   loss,
+	}
+	for _, d := range devices {
+		for _, a := range d.Addrs {
+			p.byAddr[a] = d
+		}
+	}
+	return p
+}
+
+// Addrs returns every simulated address, sorted.
+func (p *SimProber) Addrs() []netip.Addr {
+	out := make([]netip.Addr, 0, len(p.byAddr))
+	for a := range p.byAddr {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Probe implements Prober.
+func (p *SimProber) Probe(addr netip.Addr, t float64) Sample {
+	d, ok := p.byAddr[addr]
+	if !ok || d.Unresponsive[addr] || p.rng.Float64() < p.Loss {
+		return Sample{T: t}
+	}
+	s := Sample{T: t, OK: true}
+	switch {
+	case d.RandomID:
+		s.IPID = uint16(p.rng.Intn(65536))
+	case d.ConstantID:
+		s.IPID = 0
+	default:
+		jitter := 0
+		if d.JitterIDs > 0 {
+			jitter = p.rng.Intn(d.JitterIDs + 1)
+		}
+		s.IPID = d.Base + uint16(int(d.Rate*t)+jitter)
+	}
+	return s
+}

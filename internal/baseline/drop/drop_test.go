@@ -1,0 +1,145 @@
+package drop
+
+import (
+	"fmt"
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"hoiho/internal/geo"
+	"hoiho/internal/geodict"
+	"hoiho/internal/itdk"
+	"hoiho/internal/psl"
+	"hoiho/internal/rtt"
+)
+
+func TestSegments(t *testing.T) {
+	got := segments("xe-0-0.cr1.lhr1.example.net", "example.net")
+	// Rightmost first: lhr1, cr1, 0, 0, xe
+	want := []string{"lhr1", "cr1", "0", "0", "xe"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("segments = %v, want %v", got, want)
+	}
+	if segments("foo.other.org", "example.net") != nil {
+		t.Error("suffix mismatch should yield nil")
+	}
+}
+
+func TestLookupStrict(t *testing.T) {
+	d := geodict.MustDefault()
+	// DRoP requires the segment to be exactly the code: "lhr15" fails.
+	if locs := lookup(d, "lhr15", geodict.HintIATA); locs != nil {
+		t.Error("lhr15 should not match (no digit handling in DRoP)")
+	}
+	if locs := lookup(d, "lhr", geodict.HintIATA); len(locs) != 1 {
+		t.Errorf("lhr should match, got %v", locs)
+	}
+	if locs := lookup(d, "snjsca", geodict.HintCLLI); len(locs) != 1 {
+		t.Errorf("snjsca should match CLLI, got %v", locs)
+	}
+	if locs := lookup(d, "dallas", geodict.HintPlace); len(locs) == 0 {
+		t.Error("dallas should match place")
+	}
+}
+
+// buildTrainingWorld creates a corpus where the suffix embeds bare IATA
+// codes as the second segment from the end, with traceroute RTTs from a
+// single distant VP.
+func buildTrainingWorld(t *testing.T) (*itdk.Corpus, *rtt.Matrix, *geodict.Dictionary, *psl.List) {
+	t.Helper()
+	d := geodict.MustDefault()
+	list := psl.MustDefault()
+	corpus := itdk.NewCorpus("drop-train", false)
+	vp := &rtt.VP{Name: "obs", City: "london", Country: "gb",
+		Pos: d.Place("london")[0].Pos}
+	m := rtt.NewMatrix([]*rtt.VP{vp})
+
+	sites := []struct {
+		code string
+		city string
+	}{
+		{"fra", "frankfurt am main"}, {"ams", "amsterdam"}, {"prg", "prague"},
+		{"mad", "madrid"}, {"vie", "vienna"},
+	}
+	id := 0
+	for _, s := range sites {
+		loc := d.Place(s.city)[0]
+		for i := 0; i < 2; i++ {
+			id++
+			rid := fmt.Sprintf("N%d", id)
+			r := &itdk.Router{ID: rid, Interfaces: []itdk.Interface{{
+				Addr:     netip.MustParseAddr(fmt.Sprintf("192.0.2.%d", id)),
+				Hostname: fmt.Sprintf("cr%d.%s.example360.net", i, s.code),
+			}}}
+			if err := corpus.Add(r); err != nil {
+				t.Fatal(err)
+			}
+			// Traceroute-observed RTT: heavily inflated but physical.
+			rttMs := geo.MinRTTms(vp.Pos, loc.Pos)*3 + 10
+			if err := m.SetTrace(rid, "obs", rtt.Sample{RTTms: rttMs}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return corpus, m, d, list
+}
+
+func TestLearnAndGeolocate(t *testing.T) {
+	corpus, m, d, list := buildTrainingWorld(t)
+	rs := Learn(corpus, list, d, m)
+	rule := rs.Rules["example360.net"]
+	if rule == nil {
+		t.Fatal("no rule learned")
+	}
+	if rule.PosFromEnd != 1 || rule.Type != geodict.HintIATA {
+		t.Errorf("rule = %+v, want pos 1 iata", rule)
+	}
+	if rule.Consistency <= 0.5 {
+		t.Errorf("consistency = %f", rule.Consistency)
+	}
+	loc, ok := rs.Geolocate("cr9.fra.example360.net", "example360.net", d)
+	if !ok || loc.City != "frankfurt am main" {
+		t.Errorf("geolocate = %v, %v", loc, ok)
+	}
+	// DRoP's digit limitation: "fra2" fails even though a human reads it.
+	if _, ok := rs.Geolocate("cr9.fra2.example360.net", "example360.net", d); ok {
+		t.Error("fra2 should not match DRoP's rigid rule")
+	}
+	// Unknown suffix.
+	if _, ok := rs.Geolocate("cr9.fra.other.net", "other.net", d); ok {
+		t.Error("unknown suffix should fail")
+	}
+}
+
+func TestDRoPNoCustomHints(t *testing.T) {
+	corpus, m, d, list := buildTrainingWorld(t)
+	rs := Learn(corpus, list, d, m)
+	// "ash" resolves to Nashua (dictionary verbatim) even when the
+	// operator means Ashburn — DRoP never learns deviations.
+	loc, ok := rs.Geolocate("cr9.ash.example360.net", "example360.net", d)
+	if !ok {
+		t.Fatal("ash matches the IATA dictionary")
+	}
+	if loc.City != "nashua" {
+		t.Errorf("DRoP should answer nashua, got %s", loc.City)
+	}
+}
+
+func TestLooseConstraintAcceptsWrongContinentCity(t *testing.T) {
+	// A 100ms traceroute RTT from London covers most of the planet; a
+	// geohint for a far city on the same continent is "consistent".
+	d := geodict.MustDefault()
+	vpPos := d.Place("london")[0].Pos
+	obs := []rtt.Measurement{{
+		VP:     &rtt.VP{Name: "obs", Pos: vpPos},
+		Sample: rtt.Sample{RTTms: 100},
+	}}
+	loc := d.Place("moscow")[0]
+	if !traceConsistent(obs, []*geodict.Location{loc}) {
+		t.Error("loose trace constraint should accept moscow from london at 100ms")
+	}
+	// But no observation at all means not consistent.
+	if traceConsistent(nil, []*geodict.Location{loc}) {
+		t.Error("no observations should not be consistent")
+	}
+}

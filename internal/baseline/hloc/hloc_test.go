@@ -1,0 +1,140 @@
+package hloc
+
+import (
+	"reflect"
+	"testing"
+
+	"hoiho/internal/geo"
+	"hoiho/internal/geodict"
+	"hoiho/internal/rtt"
+)
+
+func testMatrix(d *geodict.Dictionary) *rtt.Matrix {
+	mk := func(name, city string) *rtt.VP {
+		return &rtt.VP{Name: name, City: city, Pos: d.Place(city)[0].Pos}
+	}
+	return rtt.NewMatrix([]*rtt.VP{
+		mk("fra-de", "frankfurt am main"),
+		mk("lon-gb", "london"),
+		mk("nyc-us", "new york"),
+		mk("dal-us", "dallas"),
+		mk("lim-pe", "lima"),
+	})
+}
+
+func TestTokens(t *testing.T) {
+	got := tokens("de-cix1.rt.act.fkt.de.retn.net", "retn.net")
+	want := []string{"de", "cix", "rt", "act", "fkt", "de"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("tokens = %v, want %v", got, want)
+	}
+	if tokens("a.other.org", "retn.net") != nil {
+		t.Error("suffix mismatch should be nil")
+	}
+}
+
+func TestBlocklist(t *testing.T) {
+	d := geodict.MustDefault()
+	m := testMatrix(d)
+	h := New(DefaultConfig(), d, m)
+	// "eth" and "gig" are IATA codes but blocklisted.
+	cands := h.candidates("eth0.gig1.core.example.net", "example.net")
+	if len(cands) != 0 {
+		t.Errorf("blocklisted tokens produced candidates: %+v", cands)
+	}
+}
+
+func TestGeolocateConfirms(t *testing.T) {
+	d := geodict.MustDefault()
+	m := testMatrix(d)
+	fra := d.Place("frankfurt am main")[0]
+	// Honest samples for a Frankfurt router.
+	for _, vp := range m.VPs() {
+		_ = m.SetPing("R1", vp.Name, rtt.Sample{
+			RTTms: geo.MinRTTms(vp.Pos, fra.Pos)*1.3 + 1})
+	}
+	h := New(DefaultConfig(), d, m)
+	loc, ok := h.Geolocate("R1", "cr1.fra1.example.net", "example.net")
+	if !ok || loc.City != "frankfurt am main" {
+		t.Errorf("geolocate = %v, %v", loc, ok)
+	}
+}
+
+func TestConfirmationBias(t *testing.T) {
+	// The paper's retn.net example: a Frankfurt router whose hostname
+	// contains "act" (Waco, TX) and "cix" (Chiclayo, PE). HLOC consults
+	// only VPs near Waco/Chiclayo; the ~110ms RTT from Dallas/Lima to
+	// Frankfurt easily covers Waco/Chiclayo, so HLOC wrongly confirms
+	// them.
+	d := geodict.MustDefault()
+	m := testMatrix(d)
+	fra := d.Place("frankfurt am main")[0]
+	for _, vp := range m.VPs() {
+		_ = m.SetPing("R1", vp.Name, rtt.Sample{
+			RTTms: geo.MinRTTms(vp.Pos, fra.Pos)*1.3 + 1})
+	}
+	h := New(DefaultConfig(), d, m)
+	// No "fkt" in the dictionary, so the true hint is invisible to HLOC;
+	// the false candidates get confirmed.
+	loc, ok := h.Geolocate("R1", "de-cix1.rt.act.fkt.de.retn.net", "retn.net")
+	if !ok {
+		t.Fatal("HLOC should (wrongly) confirm a candidate")
+	}
+	if loc.City != "waco" && loc.City != "chiclayo" {
+		t.Errorf("expected the confirmation-bias false positive, got %s", loc.City)
+	}
+}
+
+func TestNoSamplesNoAnswer(t *testing.T) {
+	// The nysernet failure mode: the nearby VPs have no samples.
+	d := geodict.MustDefault()
+	m := testMatrix(d)
+	h := New(DefaultConfig(), d, m)
+	if _, ok := h.Geolocate("R9", "cr1.fra1.example.net", "example.net"); ok {
+		t.Error("no samples should mean no answer")
+	}
+}
+
+func TestNoCustomHints(t *testing.T) {
+	// "ash" maps to Nashua in the dictionary; for an Ashburn router the
+	// one-sided test from the VP nearest Nashua (nyc-us, ~300km away)
+	// still "confirms" Nashua because the measured 6ms RTT disc covers
+	// it — HLOC cannot learn the operator meant Ashburn.
+	d := geodict.MustDefault()
+	m := testMatrix(d)
+	ashburn := d.Place("ashburn")[0]
+	for _, vp := range m.VPs() {
+		_ = m.SetPing("R1", vp.Name, rtt.Sample{
+			RTTms: geo.MinRTTms(vp.Pos, ashburn.Pos)*1.3 + 1})
+	}
+	h := New(DefaultConfig(), d, m)
+	loc, ok := h.Geolocate("R1", "core1.ash1.he.net", "he.net")
+	if !ok {
+		t.Fatal("expected an answer")
+	}
+	if loc.City == "ashburn" {
+		t.Error("HLOC has no custom-hint learning; it cannot answer ashburn")
+	}
+}
+
+func TestCandidateTypes(t *testing.T) {
+	d := geodict.MustDefault()
+	m := testMatrix(d)
+	h := New(DefaultConfig(), d, m)
+	cands := h.candidates("a1.usnyc.nycmny.dallas.example.net", "example.net")
+	var kinds []string
+	for _, c := range cands {
+		kinds = append(kinds, c.token)
+	}
+	// usnyc (locode), nycmny (clli), dallas (place).
+	wantTokens := map[string]bool{"usnyc": true, "nycmny": true, "dallas": true}
+	for _, k := range kinds {
+		if !wantTokens[k] {
+			t.Errorf("unexpected candidate token %q", k)
+		}
+		delete(wantTokens, k)
+	}
+	if len(wantTokens) != 0 {
+		t.Errorf("missing candidates: %v (got %v)", wantTokens, kinds)
+	}
+}

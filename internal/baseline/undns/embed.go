@@ -1,0 +1,33 @@
+package undns
+
+import (
+	_ "embed"
+	"strings"
+	"sync"
+
+	"hoiho/internal/geodict"
+)
+
+//go:embed data/undns.rules
+var embeddedRules string
+
+var (
+	defaultOnce sync.Once
+	defaultSet  *RuleSet
+	defaultErr  error
+)
+
+// Default returns the embedded starter database — hand-curated rules for
+// a handful of classic suffixes, frozen the way the 2014 Rocketfuel
+// distribution was. Locations resolve against the default dictionary.
+func Default() (*RuleSet, error) {
+	defaultOnce.Do(func() {
+		dict, err := geodict.Default()
+		if err != nil {
+			defaultErr = err
+			return
+		}
+		defaultSet, defaultErr = Parse(strings.NewReader(embeddedRules), dict)
+	})
+	return defaultSet, defaultErr
+}

@@ -1,0 +1,111 @@
+package undns
+
+import (
+	"strings"
+	"testing"
+
+	"hoiho/internal/geodict"
+)
+
+const sampleRules = `
+# curated rules in the style of the Rocketfuel undns database
+suffix ntt.net
+rule ^.+\.([a-z]{6})\d+\.[a-z]{2}\.[a-z]{2}\.gin\.ntt\.net$
+map snjsca san jose|ca|us
+map sttlwa seattle|wa|us
+map kslrml kuala lumpur||my
+
+suffix he.net
+rule ^.+\.core\d+\.([a-z]{3})\d+\.he\.net$
+map sjc san jose|ca|us
+map fra frankfurt am main|he|de
+`
+
+func TestParseAndGeolocate(t *testing.T) {
+	d := geodict.MustDefault()
+	rs, err := Parse(strings.NewReader(sampleRules), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Suffixes() != 2 {
+		t.Errorf("suffixes = %d", rs.Suffixes())
+	}
+	loc, ok := rs.Geolocate("ae-2.r20.snjsca04.us.bb.gin.ntt.net", "ntt.net")
+	if !ok || loc.City != "san jose" {
+		t.Errorf("geolocate = %v, %v", loc, ok)
+	}
+	// Codes outside the curated table yield nothing — undns coverage is
+	// bounded by the human-maintained map.
+	if _, ok := rs.Geolocate("ae-2.r20.nycmny01.us.bb.gin.ntt.net", "ntt.net"); ok {
+		t.Error("unmapped code should yield nothing")
+	}
+	// The paper's single stale entry: kslrml was hand-mapped to the
+	// wrong city (Kuala Lumpur instead of Kuala Selangor).
+	loc, ok = rs.Geolocate("ae-1.r01.kslrml02.my.bb.gin.ntt.net", "ntt.net")
+	if !ok || loc.City != "kuala lumpur" {
+		t.Errorf("stale entry should answer kuala lumpur, got %v %v", loc, ok)
+	}
+	if _, ok := rs.Geolocate("x.unknown.org", "unknown.org"); ok {
+		t.Error("unknown suffix should fail")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	d := geodict.MustDefault()
+	cases := []string{
+		"rule ^x$",                                     // rule before suffix
+		"suffix a.net\nmap x y|z|w",                    // map before rule
+		"suffix a.net\nrule ^(a)(b)$",                  // two captures
+		"suffix a.net\nrule ^[a$",                      // bad regex
+		"bogus thing",                                  // unknown directive
+		"suffix a.net\nrule ^(a)$\nmap x atlantis||zz", // unknown place
+		"suffix a.net\nrule ^(a)$\nmap x",              // malformed map
+	}
+	for _, in := range cases {
+		if _, err := Parse(strings.NewReader(in), d); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+}
+
+func TestAddRule(t *testing.T) {
+	d := geodict.MustDefault()
+	rs := NewRuleSet()
+	loc := d.Place("london")[0]
+	if err := rs.AddRule("x.net", `^([a-z]{3})\.x\.net$`,
+		map[string]*geodict.Location{"lon": loc}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := rs.Geolocate("lon.x.net", "x.net")
+	if !ok || got.City != "london" {
+		t.Errorf("geolocate = %v %v", got, ok)
+	}
+	if err := rs.AddRule("x.net", `^no-capture$`, nil); err == nil {
+		t.Error("zero captures should be rejected")
+	}
+	if err := rs.AddRule("x.net", `^([a)$`, nil); err == nil {
+		t.Error("bad regex should be rejected")
+	}
+}
+
+func TestDefaultDatabase(t *testing.T) {
+	rs, err := Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Suffixes() < 5 {
+		t.Errorf("embedded database has %d suffixes", rs.Suffixes())
+	}
+	loc, ok := rs.Geolocate("100ge1-1.core2.fra1.he.net", "he.net")
+	if !ok || loc.City != "frankfurt am main" {
+		t.Errorf("he.net fra = %v, %v", loc, ok)
+	}
+	loc, ok = rs.Geolocate("4.69.1.1.ashburn1.level3.net", "level3.net")
+	if !ok || loc.City != "ashburn" {
+		t.Errorf("level3 ashburn = %v, %v", loc, ok)
+	}
+	// A code outside the frozen table: no answer (the coverage limit).
+	if _, ok := rs.Geolocate("100ge1-1.core2.tyo1.he.net", "he.net"); ok {
+		t.Error("tyo is not in the frozen he.net table")
+	}
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"hoiho/internal/geodict"
+	"hoiho/internal/rex"
+)
+
+// overrideKey identifies a learned geohint within a suffix.
+type overrideKey struct {
+	t    geodict.HintType
+	hint string
+}
+
+// evalCtx carries everything needed to classify regex extractions.
+type evalCtx struct {
+	in        Inputs
+	cfg       Config
+	overrides map[overrideKey]*geodict.Location
+}
+
+func newEvalCtx(in Inputs, cfg Config) *evalCtx {
+	return &evalCtx{in: in, cfg: cfg, overrides: make(map[overrideKey]*geodict.Location)}
+}
+
+// resolve maps an extraction to candidate locations. inDict reports
+// whether the extracted string exists in the dictionary (or overrides)
+// at all — when false the outcome is UNK. Candidates are filtered by any
+// extracted state/country annotation.
+func (e *evalCtx) resolve(ext rex.Extraction) (locs []*geodict.Location, inDict bool) {
+	if ov, ok := e.overrides[overrideKey{ext.Type, ext.Hint}]; ok {
+		return []*geodict.Location{ov}, true
+	}
+	d := e.in.Dict
+	switch ext.Type {
+	case geodict.HintIATA:
+		for _, a := range d.IATA(ext.Hint) {
+			loc := a.Loc
+			locs = append(locs, &loc)
+		}
+	case geodict.HintICAO:
+		if a := d.ICAO(ext.Hint); a != nil {
+			loc := a.Loc
+			locs = append(locs, &loc)
+		}
+	case geodict.HintLocode:
+		if c := d.Locode(ext.Hint); c != nil {
+			loc := c.Loc
+			locs = append(locs, &loc)
+		}
+	case geodict.HintCLLI:
+		if c := d.CLLI(ext.Hint); c != nil {
+			loc := c.Loc
+			locs = append(locs, &loc)
+		}
+	case geodict.HintPlace:
+		locs = append(locs, d.Place(ext.Hint)...)
+	case geodict.HintFacility:
+		for _, f := range d.FacilityByAddress(ext.Hint) {
+			loc := f.Loc
+			locs = append(locs, &loc)
+		}
+	}
+	if len(locs) == 0 {
+		return nil, false
+	}
+	inDict = true
+	locs = e.filterAnnotations(locs, ext)
+	return locs, inDict
+}
+
+// filterAnnotations drops candidate locations contradicted by extracted
+// state/country codes.
+func (e *evalCtx) filterAnnotations(locs []*geodict.Location, ext rex.Extraction) []*geodict.Location {
+	d := e.in.Dict
+	out := locs[:0]
+	for _, loc := range locs {
+		if ext.Country != "" && !d.CountryEquivalent(ext.Country, loc.Country) {
+			continue
+		}
+		if ext.State != "" && !d.StateEquivalent(ext.State, loc.Country, loc.Region) {
+			continue
+		}
+		out = append(out, loc)
+	}
+	return out
+}
+
+// outcome classifies a single regex application to a tagged hostname
+// (paper §5.3). matched/ext come from the regex; the tagged hostname
+// supplies the apparent-geohint expectations.
+func (e *evalCtx) outcome(t *Tagged, ext rex.Extraction, matched bool) (Outcome, string) {
+	if !e.in.RTT.HasPing(t.RH.Router.ID) {
+		// No delay constraints: the hostname can neither confirm nor
+		// refute a convention.
+		return OutcomeNone, ""
+	}
+	if !matched {
+		if t.HasTags() {
+			return OutcomeFN, ""
+		}
+		return OutcomeNone, ""
+	}
+	locs, inDict := e.resolve(ext)
+	if !inDict {
+		return OutcomeUNK, ext.Hint
+	}
+	if len(locs) == 0 {
+		// The extracted annotation contradicts every interpretation.
+		return OutcomeFP, ext.Hint
+	}
+	consistent := false
+	for _, loc := range locs {
+		if e.in.RTT.Consistent(t.RH.Router.ID, loc.Pos, e.cfg.ToleranceMs) {
+			consistent = true
+			break
+		}
+	}
+	if !consistent {
+		return OutcomeFP, ext.Hint
+	}
+	// The extraction is plausible; penalise a missed state/country
+	// annotation that stage 2 tagged as part of this apparent geohint.
+	for i := range t.Apparent {
+		tag := &t.Apparent[i]
+		if tag.Text != ext.Hint {
+			continue
+		}
+		if tag.Country != "" && ext.Country == "" {
+			return OutcomeFN, ext.Hint
+		}
+		if tag.State != "" && ext.State == "" && tag.Country == "" {
+			// State-only conventions; when a country is present the
+			// country annotation dominates.
+			return OutcomeFN, ext.Hint
+		}
+		break
+	}
+	return OutcomeTP, ext.Hint
+}
+
+// hostOutcome records how an NC classified one hostname.
+type hostOutcome struct {
+	Outcome  Outcome
+	Hint     string // extracted geohint (TP/FP/UNK)
+	RegexIdx int    // which regex decided (-1 when none matched)
+	Ext      rex.Extraction
+}
+
+// ncEval is the detailed evaluation of a regex set over a suffix group.
+type ncEval struct {
+	Tally    Tally
+	PerHost  []hostOutcome
+	PerRegex []Tally // per-regex contribution, including unique hints
+}
+
+// evaluateSet applies an ordered regex set to every tagged hostname: the
+// first matching regex decides the hostname's outcome (paper §5.3's NC
+// semantics). Per-regex tallies support the set-building requirement
+// that every member extract at least three unique geohints.
+func (e *evalCtx) evaluateSet(regexes []*rex.Regex, tagged []*Tagged) ncEval {
+	ev := ncEval{
+		PerHost:  make([]hostOutcome, len(tagged)),
+		PerRegex: make([]Tally, len(regexes)),
+	}
+	uniq := make(map[string]bool)
+	perRegexUniq := make([]map[string]bool, len(regexes))
+	for i := range perRegexUniq {
+		perRegexUniq[i] = make(map[string]bool)
+	}
+
+	for hi, t := range tagged {
+		decided := false
+		for ri, r := range regexes {
+			ext, ok := r.Match(t.H.Full)
+			if !ok {
+				continue
+			}
+			o, hint := e.outcome(t, ext, true)
+			ev.PerHost[hi] = hostOutcome{Outcome: o, Hint: hint, RegexIdx: ri, Ext: ext}
+			bump(&ev.Tally, o)
+			bump(&ev.PerRegex[ri], o)
+			if o == OutcomeTP {
+				uniq[hint] = true
+				perRegexUniq[ri][hint] = true
+			}
+			decided = true
+			break
+		}
+		if !decided {
+			o, _ := e.outcome(t, rex.Extraction{}, false)
+			ev.PerHost[hi] = hostOutcome{Outcome: o, RegexIdx: -1}
+			bump(&ev.Tally, o)
+		}
+	}
+	ev.Tally.UniqueHints = len(uniq)
+	for i := range regexes {
+		ev.PerRegex[i].UniqueHints = len(perRegexUniq[i])
+	}
+	return ev
+}
+
+func bump(t *Tally, o Outcome) {
+	switch o {
+	case OutcomeTP:
+		t.TP++
+	case OutcomeFP:
+		t.FP++
+	case OutcomeFN:
+		t.FN++
+	case OutcomeUNK:
+		t.UNK++
+	}
+}

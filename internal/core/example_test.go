@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+
+	"hoiho/internal/core"
+	"hoiho/internal/geo"
+	"hoiho/internal/geodict"
+	"hoiho/internal/itdk"
+	"hoiho/internal/psl"
+	"hoiho/internal/rtt"
+)
+
+// Example demonstrates the full public API surface: assemble inputs,
+// learn a convention for a suffix, and geolocate an unseen hostname —
+// including one that uses the operator's custom "ash" code for Ashburn.
+func Example() {
+	dict := geodict.MustDefault()
+	list := psl.MustDefault()
+
+	// Vantage points with known locations.
+	var vps []*rtt.VP
+	for _, v := range []struct{ name, city, region, country string }{
+		{"cgs-us", "college park", "md", "us"},
+		{"sjc-us", "san jose", "ca", "us"},
+		{"lon-gb", "london", "", "gb"},
+		{"tyo-jp", "tokyo", "", "jp"},
+	} {
+		for _, loc := range dict.Place(v.city) {
+			if loc.Region == v.region && loc.Country == v.country {
+				vps = append(vps, &rtt.VP{Name: v.name, City: v.city,
+					Country: v.country, Pos: loc.Pos})
+			}
+		}
+	}
+	matrix := rtt.NewMatrix(vps)
+	corpus := itdk.NewCorpus("example", false)
+
+	// A small corpus: IATA codes, with "ash" repurposed for Ashburn VA.
+	ip := 0
+	addRouter := func(city, region, country, hostname string) {
+		var pos geo.LatLong
+		for _, loc := range dict.Place(city) {
+			if loc.Region == region && loc.Country == country {
+				pos = loc.Pos
+			}
+		}
+		ip++
+		r := &itdk.Router{ID: fmt.Sprintf("N%d", ip), Interfaces: []itdk.Interface{{
+			Addr:     netip.MustParseAddr(fmt.Sprintf("192.0.2.%d", ip)),
+			Hostname: hostname,
+		}}}
+		if err := corpus.Add(r); err != nil {
+			log.Fatal(err)
+		}
+		for _, vp := range vps {
+			s := rtt.Sample{RTTms: geo.MinRTTms(vp.Pos, pos)*1.25 + 1, Method: rtt.ICMP}
+			if err := matrix.SetPing(r.ID, vp.Name, s); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	for i := 1; i <= 3; i++ {
+		addRouter("san jose", "ca", "us", fmt.Sprintf("ae-%d.core%d.sjc1.example.net", i, i))
+		addRouter("london", "", "gb", fmt.Sprintf("ae-%d.core%d.lhr1.example.net", i, i))
+		addRouter("tokyo", "", "jp", fmt.Sprintf("ae-%d.core%d.tyo1.example.net", i, i))
+		addRouter("ashburn", "va", "us", fmt.Sprintf("ae-%d.core%d.ash1.example.net", i, i))
+	}
+
+	in := core.Inputs{Dict: dict, PSL: list, Corpus: corpus, RTT: matrix}
+	res, err := core.Run(in, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	nc := res.NCs["example.net"]
+	fmt.Printf("class: %s\n", nc.Class)
+	for _, lh := range nc.Learned {
+		fmt.Printf("learned: %s\n", lh)
+	}
+	g, _ := core.Geolocate(nc, dict, "xe-9.core9.ash2.example.net")
+	fmt.Printf("geolocated: %s\n", g.Loc.String())
+	// Output:
+	// class: good
+	// learned: ash -> Ashburn, VA, US (iata)
+	// geolocated: Ashburn, VA, US
+}

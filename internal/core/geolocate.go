@@ -1,0 +1,123 @@
+package core
+
+import (
+	"sort"
+
+	"hoiho/internal/geodict"
+	"hoiho/internal/rex"
+)
+
+// Geolocation is the result of applying a learned naming convention to a
+// hostname.
+type Geolocation struct {
+	Hostname string
+	Suffix   string
+	Hint     string
+	Type     geodict.HintType
+	Loc      *geodict.Location
+	Learned  bool // the hint resolved through a stage-4 learned geohint
+}
+
+// Geolocate applies a naming convention to a hostname: the first
+// matching regex extracts a geohint, which is resolved first through the
+// convention's learned geohints and then through the reference
+// dictionary, disambiguating multiple interpretations by facility
+// presence and population (the paper's ranking for learned hints, which
+// Lakhina et al.'s population-density observation motivates).
+func Geolocate(nc *NamingConvention, dict *geodict.Dictionary, host string) (*Geolocation, bool) {
+	if nc == nil {
+		return nil, false
+	}
+	for _, r := range nc.Regexes {
+		ext, ok := r.Match(host)
+		if !ok {
+			continue
+		}
+		g := &Geolocation{
+			Hostname: host, Suffix: nc.Suffix, Hint: ext.Hint, Type: ext.Type,
+		}
+		// Learned geohints take precedence over the dictionary.
+		for _, lh := range nc.Learned {
+			if lh.Type == ext.Type && lh.Hint == ext.Hint {
+				g.Loc = lh.Loc
+				g.Learned = true
+				return g, true
+			}
+		}
+		locs := dictionaryLocations(dict, ext)
+		if len(locs) == 0 {
+			return nil, false
+		}
+		g.Loc = pickLocation(dict, locs)
+		return g, true
+	}
+	return nil, false
+}
+
+// dictionaryLocations resolves an extraction against the reference
+// dictionary, filtered by any annotation codes.
+func dictionaryLocations(d *geodict.Dictionary, ext rex.Extraction) []*geodict.Location {
+	var locs []*geodict.Location
+	switch ext.Type {
+	case geodict.HintIATA:
+		for _, a := range d.IATA(ext.Hint) {
+			loc := a.Loc
+			locs = append(locs, &loc)
+		}
+	case geodict.HintICAO:
+		if a := d.ICAO(ext.Hint); a != nil {
+			loc := a.Loc
+			locs = append(locs, &loc)
+		}
+	case geodict.HintLocode:
+		if c := d.Locode(ext.Hint); c != nil {
+			loc := c.Loc
+			locs = append(locs, &loc)
+		}
+	case geodict.HintCLLI:
+		if c := d.CLLI(ext.Hint); c != nil {
+			loc := c.Loc
+			locs = append(locs, &loc)
+		}
+	case geodict.HintPlace:
+		locs = append(locs, d.Place(ext.Hint)...)
+	case geodict.HintFacility:
+		for _, f := range d.FacilityByAddress(ext.Hint) {
+			loc := f.Loc
+			locs = append(locs, &loc)
+		}
+	}
+	out := locs[:0]
+	for _, loc := range locs {
+		if ext.Country != "" && !d.CountryEquivalent(ext.Country, loc.Country) {
+			continue
+		}
+		if ext.State != "" && !d.StateEquivalent(ext.State, loc.Country, loc.Region) {
+			continue
+		}
+		out = append(out, loc)
+	}
+	return out
+}
+
+// pickLocation disambiguates multiple interpretations: facility presence
+// first, then population, then a stable key order.
+func pickLocation(d *geodict.Dictionary, locs []*geodict.Location) *geodict.Location {
+	if len(locs) == 1 {
+		return locs[0]
+	}
+	sorted := append([]*geodict.Location(nil), locs...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		af := d.HasFacility(a.City, a.Region, a.Country)
+		bf := d.HasFacility(b.City, b.Region, b.Country)
+		if af != bf {
+			return af
+		}
+		if a.Population != b.Population {
+			return a.Population > b.Population
+		}
+		return a.Key() < b.Key()
+	})
+	return sorted[0]
+}

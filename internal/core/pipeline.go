@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"hoiho/internal/rex"
+)
+
+// Run executes the five-stage pipeline over the assembled inputs and
+// returns the learned naming conventions for every suffix with an
+// apparent geohint.
+func Run(in Inputs, cfg Config) (*Result, error) {
+	if in.Dict == nil || in.PSL == nil || in.Corpus == nil || in.RTT == nil {
+		return nil, fmt.Errorf("core: incomplete inputs")
+	}
+	res := &Result{NCs: make(map[string]*NamingConvention)}
+	tg := &tagger{in: in, cfg: cfg}
+
+	routersWithGeohint := make(map[string]bool)
+	routersGeolocated := make(map[string]bool)
+
+	for _, group := range in.Corpus.GroupBySuffix(in.PSL) {
+		// Stage 2: tag apparent geohints.
+		var tagged []*Tagged
+		anyTag := false
+		for _, rh := range group.Hosts {
+			t := tg.tag(rh)
+			if t == nil {
+				continue
+			}
+			tagged = append(tagged, t)
+			if t.HasTags() {
+				anyTag = true
+				routersWithGeohint[rh.Router.ID] = true
+			}
+		}
+		if !anyTag {
+			continue
+		}
+		res.SuffixesWithGeohint++
+
+		// Stage 3: build and evaluate candidate regexes; stage 4:
+		// learn operator geohints from every qualifying candidate NC;
+		// re-select with overrides in effect.
+		pool := generateCandidates(tagged, cfg.MaxCandidates)
+		e := newEvalCtx(in, cfg)
+		set, ev, learned := learnAndSelect(group.Suffix, pool, tagged, e, cfg)
+		if set == nil {
+			continue
+		}
+
+		// Stage 5: classify.
+		nc := &NamingConvention{
+			Suffix:  group.Suffix,
+			Regexes: set,
+			Learned: learned,
+			Tally:   ev.Tally,
+			Class:   classify(ev.Tally, cfg),
+		}
+		for _, r := range set {
+			for _, role := range r.Roles() {
+				switch role {
+				case rex.RoleState:
+					nc.AnnotatesState = true
+				case rex.RoleCountry:
+					nc.AnnotatesCountry = true
+				}
+			}
+		}
+		res.NCs[group.Suffix] = nc
+
+		if nc.Class.Usable() {
+			for hi, ho := range ev.PerHost {
+				if ho.Outcome == OutcomeTP {
+					routersGeolocated[tagged[hi].RH.Router.ID] = true
+					// A hostname a learned hint geolocates carries an
+					// apparent geohint even when stage 2's dictionary
+					// pass could not tag it.
+					routersWithGeohint[tagged[hi].RH.Router.ID] = true
+				}
+			}
+		}
+	}
+	res.RoutersWithGeohint = len(routersWithGeohint)
+	res.RoutersGeolocated = len(routersGeolocated)
+	return res, nil
+}
+
+// RunSuffix runs stages 2-5 for a single suffix group already extracted
+// from a corpus — the unit the examples and unit tests exercise.
+func RunSuffix(in Inputs, cfg Config, suffix string) (*NamingConvention, []*Tagged, error) {
+	if in.Dict == nil || in.PSL == nil || in.Corpus == nil || in.RTT == nil {
+		return nil, nil, fmt.Errorf("core: incomplete inputs")
+	}
+	tg := &tagger{in: in, cfg: cfg}
+	for _, group := range in.Corpus.GroupBySuffix(in.PSL) {
+		if group.Suffix != suffix {
+			continue
+		}
+		var tagged []*Tagged
+		for _, rh := range group.Hosts {
+			if t := tg.tag(rh); t != nil {
+				tagged = append(tagged, t)
+			}
+		}
+		pool := generateCandidates(tagged, cfg.MaxCandidates)
+		e := newEvalCtx(in, cfg)
+		set, ev, learned := learnAndSelect(suffix, pool, tagged, e, cfg)
+		if set == nil {
+			return nil, tagged, nil
+		}
+		nc := &NamingConvention{
+			Suffix: suffix, Regexes: set, Learned: learned,
+			Tally: ev.Tally, Class: classify(ev.Tally, cfg),
+		}
+		for _, r := range set {
+			for _, role := range r.Roles() {
+				switch role {
+				case rex.RoleState:
+					nc.AnnotatesState = true
+				case rex.RoleCountry:
+					nc.AnnotatesCountry = true
+				}
+			}
+		}
+		return nc, tagged, nil
+	}
+	return nil, nil, fmt.Errorf("core: suffix %q not in corpus", suffix)
+}

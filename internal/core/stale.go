@@ -1,0 +1,117 @@
+package core
+
+import (
+	"sort"
+
+	"hoiho/internal/geo"
+	"hoiho/internal/geodict"
+)
+
+// StaleHostname flags a hostname whose geohint contradicts the other
+// evidence for its router — the fig. 3a pathology, where an address was
+// re-assigned to a different router and kept its old PTR record. The
+// paper (§7, citing Zhang et al.) lists detecting these as the
+// mitigation for geolocation distortion.
+type StaleHostname struct {
+	RouterID string
+	Hostname string
+	Hint     string
+	Loc      *geodict.Location // the (stale) location the hostname names
+
+	// Consensus is the location the router's other hostnames agree on;
+	// nil when staleness was established by RTT contradiction alone.
+	Consensus      *geodict.Location
+	ConsensusCount int
+}
+
+// staleAgreeKm is how close two hostname locations must be to count as
+// agreeing on the router's location (the 40 km criterion).
+const staleAgreeKm = 40.0
+
+// DetectStale scans a corpus with learned conventions for stale
+// hostnames using two signals:
+//
+//  1. consensus: a router has several hostnames whose geohints agree on
+//     one location, and one hostname naming somewhere else that the
+//     measured RTTs rule out (hostname 1d in fig. 3a);
+//  2. contradiction: a router's only geolocatable hostname names a
+//     location the measured RTTs rule out.
+//
+// Only usable (good/promising) conventions participate: a poor
+// convention's extractions are not evidence.
+func DetectStale(in Inputs, res *Result) []StaleHostname {
+	type located struct {
+		hostname string
+		loc      *geodict.Location
+		hint     string
+	}
+	var out []StaleHostname
+	for _, group := range in.Corpus.GroupBySuffix(in.PSL) {
+		nc := res.NCs[group.Suffix]
+		if nc == nil || !nc.Class.Usable() {
+			continue
+		}
+		// Collect per-router hostname locations under this suffix.
+		byRouter := make(map[string][]located)
+		var order []string
+		for _, rh := range group.Hosts {
+			g, ok := Geolocate(nc, in.Dict, rh.Hostname)
+			if !ok {
+				continue
+			}
+			if _, seen := byRouter[rh.Router.ID]; !seen {
+				order = append(order, rh.Router.ID)
+			}
+			byRouter[rh.Router.ID] = append(byRouter[rh.Router.ID],
+				located{rh.Hostname, g.Loc, g.Hint})
+		}
+		for _, rid := range order {
+			locs := byRouter[rid]
+			if !in.RTT.HasPing(rid) {
+				continue
+			}
+			inconsistent := func(l *geodict.Location) bool {
+				return !in.RTT.Consistent(rid, l.Pos, 1.0)
+			}
+			// Consensus: the largest cluster of agreeing, RTT-consistent
+			// hostname locations.
+			var consensus *geodict.Location
+			consensusN := 0
+			for _, a := range locs {
+				if inconsistent(a.loc) {
+					continue
+				}
+				n := 0
+				for _, b := range locs {
+					if geo.DistanceKm(a.loc.Pos, b.loc.Pos) <= staleAgreeKm {
+						n++
+					}
+				}
+				if n > consensusN {
+					consensus, consensusN = a.loc, n
+				}
+			}
+			for _, l := range locs {
+				if !inconsistent(l.loc) {
+					continue
+				}
+				s := StaleHostname{
+					RouterID: rid, Hostname: l.hostname, Hint: l.hint, Loc: l.loc,
+				}
+				if consensus != nil && consensusN >= 2 &&
+					geo.DistanceKm(consensus.Pos, l.loc.Pos) > staleAgreeKm {
+					s.Consensus = consensus
+					s.ConsensusCount = consensusN
+				}
+				out = append(out, s)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RouterID != out[j].RouterID {
+			return out[i].RouterID < out[j].RouterID
+		}
+		return out[i].Hostname < out[j].Hostname
+	})
+	return out
+}

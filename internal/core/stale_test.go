@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"hoiho/internal/geo"
+	"hoiho/internal/itdk"
+	"hoiho/internal/rtt"
+)
+
+// addMultiHostnameRouter creates a router whose interfaces carry several
+// hostnames, with honest pings from every VP for its true location.
+func (f *fixture) addMultiHostnameRouter(id string, loc *locref, hostnames ...string) {
+	f.t.Helper()
+	r := &itdk.Router{ID: id}
+	for _, hn := range hostnames {
+		f.nextIP++
+		r.Interfaces = append(r.Interfaces, itdk.Interface{
+			Addr:     netip.MustParseAddr(netipFor(f.nextIP)),
+			Hostname: hn,
+		})
+	}
+	if err := f.corpus.Add(r); err != nil {
+		f.t.Fatal(err)
+	}
+	for _, vp := range f.matrix.VPs() {
+		s := rtt.Sample{RTTms: geo.MinRTTms(vp.Pos, loc.pos)*1.25 + 1, Method: rtt.ICMP}
+		if err := f.matrix.SetPing(id, vp.Name, s); err != nil {
+			f.t.Fatal(err)
+		}
+	}
+}
+
+type locref struct{ pos geo.LatLong }
+
+func netipFor(n int) string {
+	return fmt.Sprintf("203.0.113.%d", n%254+1)
+}
+
+func TestDetectStaleConsensus(t *testing.T) {
+	f := newFixture(t)
+	buildHENet(f)
+
+	// Figure 3a: a router in Ashburn with three consistent "iad"
+	// hostnames and one stale "sjc" hostname (the router is nowhere
+	// near San Jose, which the cgs VP's 1.4 ms RTT proves).
+	ashburn := f.place("ashburn", "va", "us")
+	f.addMultiHostnameRouter("stale1", &locref{pos: ashburn.Pos},
+		"xe-0-0.core1.iad1.he.net",
+		"xe-0-1.core1.iad1.he.net",
+		"xe-0-2.core1.iad1.he.net",
+		"xe-0-3.core1.sjc1.he.net", // stale
+	)
+
+	res, err := Run(f.inputs(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stales := DetectStale(f.inputs(), res)
+	var hit *StaleHostname
+	for i := range stales {
+		if stales[i].RouterID == "stale1" {
+			hit = &stales[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("stale hostname not detected; stales = %+v", stales)
+	}
+	if hit.Hostname != "xe-0-3.core1.sjc1.he.net" || hit.Hint != "sjc" {
+		t.Errorf("wrong hostname flagged: %+v", hit)
+	}
+	if hit.Consensus == nil || hit.Consensus.City != "washington" && hit.Consensus.City != "ashburn" {
+		t.Errorf("consensus = %+v, want the iad interpretation", hit.Consensus)
+	}
+	if hit.ConsensusCount < 3 {
+		t.Errorf("consensus count = %d, want >= 3", hit.ConsensusCount)
+	}
+	// The consistent hostnames must not be flagged.
+	for _, s := range stales {
+		if s.RouterID == "stale1" && s.Hint != "sjc" {
+			t.Errorf("consistent hostname flagged: %+v", s)
+		}
+	}
+}
+
+func TestDetectStaleSingleHostname(t *testing.T) {
+	f := newFixture(t)
+	buildHENet(f)
+	// A router in Tokyo whose only hostname claims Frankfurt: RTT
+	// contradiction without consensus.
+	tokyo := f.place("tokyo", "", "jp")
+	f.addMultiHostnameRouter("stale2", &locref{pos: tokyo.Pos},
+		"xe-1-1.core1.fra1.he.net",
+	)
+	res, err := Run(f.inputs(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stales := DetectStale(f.inputs(), res)
+	found := false
+	for _, s := range stales {
+		if s.RouterID == "stale2" {
+			found = true
+			if s.Consensus != nil {
+				t.Errorf("single-hostname stale should have no consensus: %+v", s)
+			}
+		}
+	}
+	if !found {
+		t.Error("RTT-contradicted single hostname not flagged")
+	}
+}
+
+func TestDetectStaleCleanCorpus(t *testing.T) {
+	f := newFixture(t)
+	buildHENet(f)
+	res, err := Run(f.inputs(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stales := DetectStale(f.inputs(), res); len(stales) != 0 {
+		t.Errorf("clean corpus flagged stales: %+v", stales)
+	}
+}
+
+func TestDetectStaleIgnoresPoorNCs(t *testing.T) {
+	f := newFixture(t)
+	// A suffix too small to learn anything usable.
+	london := f.place("london", "", "gb")
+	f.addRouter("L1", london, "x.lhr1.tiny.net")
+	res, err := Run(f.inputs(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stales := DetectStale(f.inputs(), res); len(stales) != 0 {
+		t.Errorf("poor/absent NC should contribute no stales: %+v", stales)
+	}
+}

@@ -1,0 +1,74 @@
+package eval
+
+import (
+	"fmt"
+
+	"hoiho/internal/core"
+	"hoiho/internal/synth"
+)
+
+// PresetNames are the four ITDK-shaped worlds the paper evaluates.
+var PresetNames = []string{"ipv4-aug2020", "ipv4-mar2021", "ipv6-nov2020", "ipv6-mar2021"}
+
+// Suite bundles generated worlds with their pipeline results.
+type Suite struct {
+	Worlds  []*synth.World
+	Results []*core.Result
+}
+
+// RunSuite generates each named world (scaled by scale, 1.0 = preset
+// size), cleans spoofing VPs, and runs the pipeline.
+func RunSuite(names []string, scale float64) (*Suite, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	s := &Suite{}
+	for _, name := range names {
+		p, err := synth.ITDKPreset(name)
+		if err != nil {
+			return nil, err
+		}
+		p.Operators = max1(int(float64(p.Operators) * scale))
+		p.Noise = int(float64(p.Noise) * scale)
+		p.VPs = max1(int(float64(p.VPs) * scale))
+		if p.SpoofVPs >= p.VPs {
+			p.SpoofVPs = 0
+		}
+		w, err := synth.Generate(p)
+		if err != nil {
+			return nil, err
+		}
+		w.CleanSpoofers()
+		res, err := core.Run(w.Inputs(), core.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("eval: pipeline on %s: %w", name, err)
+		}
+		s.Worlds = append(s.Worlds, w)
+		s.Results = append(s.Results, res)
+	}
+	return s, nil
+}
+
+// RunWorld generates and evaluates one preset world.
+func RunWorld(name string, scale float64) (*synth.World, *core.Result, error) {
+	s, err := RunSuite([]string{name}, scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.Worlds[0], s.Results[0], nil
+}
+
+// RunWorldNoLearn re-runs the pipeline on an existing world with stage-4
+// hint learning disabled (the §6.1 ablation).
+func RunWorldNoLearn(w *synth.World) (*core.Result, error) {
+	cfg := core.DefaultConfig()
+	cfg.LearnHints = false
+	return core.Run(w.Inputs(), cfg)
+}
+
+func max1(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}

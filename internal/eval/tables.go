@@ -1,0 +1,370 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hoiho/internal/core"
+	"hoiho/internal/geo"
+	"hoiho/internal/geodict"
+	"hoiho/internal/synth"
+)
+
+// Table1Row summarises one ITDK (paper Table 1).
+type Table1Row struct {
+	Name         string
+	Routers      int
+	WithHostname int
+	WithRTT      int
+	VPs          int
+}
+
+// Table1 is the ITDK summary table.
+type Table1 struct{ Rows []Table1Row }
+
+// ComputeTable1 summarises each world.
+func ComputeTable1(worlds []*synth.World) Table1 {
+	var t Table1
+	for _, w := range worlds {
+		row := Table1Row{Name: w.Name, VPs: len(w.Matrix.VPs())}
+		for _, r := range w.Corpus.Routers {
+			row.Routers++
+			if r.HasHostname() {
+				row.WithHostname++
+			}
+			if w.Matrix.HasPing(r.ID) {
+				row.WithRTT++
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Format renders the table.
+func (t Table1) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %8s %14s %14s %6s\n", "ITDK", "routers", "w/hostname", "w/RTT", "VPs")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-14s %8d %8d (%4.1f%%) %8d (%4.1f%%) %6d\n",
+			r.Name, r.Routers,
+			r.WithHostname, pct(r.WithHostname, r.Routers),
+			r.WithRTT, pct(r.WithRTT, r.Routers), r.VPs)
+	}
+	return b.String()
+}
+
+// Table2Row is one world's NC coverage (paper Table 2).
+type Table2Row struct {
+	Name                string
+	Routers             int
+	WithHostname        int
+	WithApparentGeohint int
+	Geolocated          int
+}
+
+// Table2 is the usable-NC coverage table.
+type Table2 struct{ Rows []Table2Row }
+
+// ComputeTable2 runs the pipeline on each world and reports coverage.
+func ComputeTable2(worlds []*synth.World, results []*core.Result) Table2 {
+	var t Table2
+	for i, w := range worlds {
+		res := results[i]
+		row := Table2Row{Name: w.Name}
+		for _, r := range w.Corpus.Routers {
+			row.Routers++
+			if r.HasHostname() {
+				row.WithHostname++
+			}
+		}
+		row.WithApparentGeohint = res.RoutersWithGeohint
+		row.Geolocated = res.RoutersGeolocated
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Format renders the table.
+func (t Table2) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %8s %12s %14s %12s\n",
+		"ITDK", "routers", "w/hostname", "w/geohint", "geolocated")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-14s %8d %6d (%4.1f%%) %6d (%4.1f%%) %6d (%4.1f%%)\n",
+			r.Name, r.Routers,
+			r.WithHostname, pct(r.WithHostname, r.Routers),
+			r.WithApparentGeohint, pct(r.WithApparentGeohint, r.Routers),
+			r.Geolocated, pct(r.Geolocated, r.Routers))
+	}
+	return b.String()
+}
+
+// Table3Row is one world's NC classification counts (paper Table 3).
+type Table3Row struct {
+	Name                  string
+	Good, Promising, Poor int
+}
+
+// Total is the number of suffixes with an NC.
+func (r Table3Row) Total() int { return r.Good + r.Promising + r.Poor }
+
+// Table3 is the NC classification table.
+type Table3 struct{ Rows []Table3Row }
+
+// ComputeTable3 classifies each world's NCs.
+func ComputeTable3(worlds []*synth.World, results []*core.Result) Table3 {
+	var t Table3
+	for i, w := range worlds {
+		row := Table3Row{Name: w.Name}
+		for _, nc := range results[i].NCs {
+			switch nc.Class {
+			case core.Good:
+				row.Good++
+			case core.Promising:
+				row.Promising++
+			default:
+				row.Poor++
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Format renders the table.
+func (t Table3) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %14s %14s %14s %6s\n", "ITDK", "good", "promising", "poor", "total")
+	for _, r := range t.Rows {
+		n := r.Total()
+		fmt.Fprintf(&b, "%-14s %6d (%4.1f%%) %6d (%4.1f%%) %6d (%4.1f%%) %6d\n",
+			r.Name, r.Good, pct(r.Good, n), r.Promising, pct(r.Promising, n),
+			r.Poor, pct(r.Poor, n), n)
+	}
+	return b.String()
+}
+
+// Table4Cell counts NCs by geohint type and annotation (paper Table 4).
+type Table4Cell struct {
+	Type       geodict.HintType
+	Annotation string // "none", "state", "country", "both"
+	Good       int
+	Promising  int
+}
+
+// Table4 is the annotation breakdown for one world.
+type Table4 struct {
+	Cells          []Table4Cell
+	GoodTotal      int
+	PromisingTotal int
+}
+
+// ComputeTable4 breaks down the good/promising NCs of one result.
+func ComputeTable4(res *core.Result) Table4 {
+	counts := make(map[geodict.HintType]map[string][2]int)
+	bump := func(t geodict.HintType, ann string, cls core.Classification) {
+		m := counts[t]
+		if m == nil {
+			m = make(map[string][2]int)
+			counts[t] = m
+		}
+		c := m[ann]
+		if cls == core.Good {
+			c[0]++
+		} else {
+			c[1]++
+		}
+		m[ann] = c
+	}
+	var t4 Table4
+	for _, nc := range res.NCs {
+		if !nc.Class.Usable() {
+			continue
+		}
+		if nc.Class == core.Good {
+			t4.GoodTotal++
+		} else {
+			t4.PromisingTotal++
+		}
+		ann := "none"
+		switch {
+		case nc.AnnotatesState && nc.AnnotatesCountry:
+			ann = "both"
+		case nc.AnnotatesState:
+			ann = "state"
+		case nc.AnnotatesCountry:
+			ann = "country"
+		}
+		for _, ht := range nc.HintTypes() {
+			bump(ht, ann, nc.Class)
+		}
+	}
+	var types []geodict.HintType
+	for t := range counts {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	for _, ht := range types {
+		for _, ann := range []string{"none", "state", "country", "both"} {
+			c, ok := counts[ht][ann]
+			if !ok {
+				continue
+			}
+			t4.Cells = append(t4.Cells, Table4Cell{
+				Type: ht, Annotation: ann, Good: c[0], Promising: c[1]})
+		}
+	}
+	return t4
+}
+
+// Format renders the table.
+func (t Table4) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-10s %14s %14s\n", "geohint", "annotation", "good", "promising")
+	for _, c := range t.Cells {
+		fmt.Fprintf(&b, "%-10s %-10s %6d (%4.1f%%) %6d (%4.1f%%)\n",
+			c.Type, c.Annotation,
+			c.Good, pct(c.Good, t.GoodTotal),
+			c.Promising, pct(c.Promising, t.PromisingTotal))
+	}
+	fmt.Fprintf(&b, "%-10s %-10s %6d %15d\n", "overall", "", t.GoodTotal, t.PromisingTotal)
+	return b.String()
+}
+
+// Table5Row is one frequently-learned 3-letter geohint (paper Table 5).
+type Table5Row struct {
+	Hint        string
+	Suffixes    int    // suffixes whose NC learned this hint
+	Location    string // the learned meaning
+	IATACollide bool   // an airport holds this IATA code elsewhere
+	NearestIATA string // dictionary code nearest the learned location
+}
+
+// Table5 lists learned hints shared across suffixes.
+type Table5 struct{ Rows []Table5Row }
+
+// ComputeTable5 aggregates learned 3-letter hints across a result's NCs.
+func ComputeTable5(res *core.Result, dict *geodict.Dictionary, minSuffixes int) Table5 {
+	type agg struct {
+		count int
+		loc   *geodict.Location
+	}
+	m := make(map[string]*agg)
+	for _, nc := range res.NCs {
+		for _, lh := range nc.Learned {
+			if lh.Type != geodict.HintIATA || len(lh.Hint) != 3 {
+				continue
+			}
+			a := m[lh.Hint]
+			if a == nil {
+				a = &agg{loc: lh.Loc}
+				m[lh.Hint] = a
+			}
+			a.count++
+		}
+	}
+	var rows []Table5Row
+	for hint, a := range m {
+		if a.count < minSuffixes {
+			continue
+		}
+		rows = append(rows, Table5Row{
+			Hint: hint, Suffixes: a.count, Location: a.loc.String(),
+			IATACollide: len(dict.IATA(hint)) > 0,
+			NearestIATA: nearestAirport(dict, a.loc.Pos),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Suffixes != rows[j].Suffixes {
+			return rows[i].Suffixes > rows[j].Suffixes
+		}
+		return rows[i].Hint < rows[j].Hint
+	})
+	return Table5{Rows: rows}
+}
+
+func nearestAirport(d *geodict.Dictionary, pos geo.LatLong) string {
+	best := ""
+	bestKm := 0.0
+	for _, a := range d.Airports() {
+		km := geo.DistanceKm(a.Loc.Pos, pos)
+		if best == "" || km < bestKm {
+			best, bestKm = a.IATA, km
+		}
+	}
+	return best
+}
+
+// Format renders the table.
+func (t Table5) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %4s %-26s %-8s %s\n", "hint", "#", "location", "collide", "nearest-iata")
+	for _, r := range t.Rows {
+		col := " "
+		if r.IATACollide {
+			col = "x"
+		}
+		fmt.Fprintf(&b, "%-6s %4d %-26s %-8s %s\n", r.Hint, r.Suffixes, r.Location, col, r.NearestIATA)
+	}
+	return b.String()
+}
+
+// Table6Row validates one suffix's learned hints against ground truth
+// (paper Table 6).
+type Table6Row struct {
+	Suffix  string
+	Correct int
+	Total   int
+}
+
+// Table6 is the learned-geohint validation table.
+type Table6 struct {
+	Rows    []Table6Row
+	Correct int
+	Total   int
+}
+
+// ComputeTable6 checks every learned hint against the generator's
+// intent, standing in for the paper's operator validation.
+func ComputeTable6(w *synth.World, res *core.Result) Table6 {
+	var t Table6
+	var suffixes []string
+	for suffix := range res.NCs {
+		suffixes = append(suffixes, suffix)
+	}
+	sort.Strings(suffixes)
+	for _, suffix := range suffixes {
+		nc := res.NCs[suffix]
+		if len(nc.Learned) == 0 {
+			continue
+		}
+		truth := w.TruthHints[suffix]
+		row := Table6Row{Suffix: suffix}
+		for _, lh := range nc.Learned {
+			row.Total++
+			hintKey := lh.Hint
+			if want, ok := truth[hintKey]; ok && Within(lh.Loc.Pos, want.Pos) {
+				row.Correct++
+			}
+		}
+		t.Rows = append(t.Rows, row)
+		t.Correct += row.Correct
+		t.Total += row.Total
+	}
+	return t
+}
+
+// Format renders the table.
+func (t Table6) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %10s\n", "suffix", "verified")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-22s %3d/%-3d (%.1f%%)\n", r.Suffix, r.Correct, r.Total,
+			pct(r.Correct, r.Total))
+	}
+	fmt.Fprintf(&b, "%-22s %3d/%-3d (%.1f%%)\n", "overall", t.Correct, t.Total,
+		pct(t.Correct, t.Total))
+	return b.String()
+}

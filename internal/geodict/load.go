@@ -1,0 +1,198 @@
+package geodict
+
+import (
+	"bufio"
+	"embed"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+
+	"hoiho/internal/geo"
+)
+
+//go:embed data/*.tsv
+var dataFS embed.FS
+
+var (
+	defaultOnce sync.Once
+	defaultDict *Dictionary
+	defaultErr  error
+)
+
+// Default returns the dictionary assembled from the embedded curated
+// datasets. The dictionary is built once and shared; callers must not
+// mutate it.
+func Default() (*Dictionary, error) {
+	defaultOnce.Do(func() {
+		defaultDict, defaultErr = loadEmbedded()
+	})
+	return defaultDict, defaultErr
+}
+
+// MustDefault is Default but panics on error; for tests and examples.
+func MustDefault() *Dictionary {
+	d, err := Default()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func loadEmbedded() (*Dictionary, error) {
+	b := NewBuilder()
+	steps := []struct {
+		file string
+		fn   func(*Builder, io.Reader) error
+	}{
+		{"data/countries.tsv", loadCountries},
+		{"data/states.tsv", loadStates},
+		{"data/cities.tsv", loadCities},
+		{"data/airports.tsv", loadAirports},
+		{"data/locodes.tsv", loadLocodes},
+		{"data/clli.tsv", loadCLLI},
+		{"data/facilities.tsv", loadFacilities},
+	}
+	for _, s := range steps {
+		f, err := dataFS.Open(s.file)
+		if err != nil {
+			return nil, fmt.Errorf("geodict: open %s: %w", s.file, err)
+		}
+		err = s.fn(b, f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("geodict: load %s: %w", s.file, err)
+		}
+	}
+	return b.Dictionary(), nil
+}
+
+// forEachRecord streams non-comment, non-blank TSV lines to fn, reporting
+// errors with one-based line numbers.
+func forEachRecord(r io.Reader, want int, fn func(fields []string) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if len(fields) != want {
+			return fmt.Errorf("line %d: got %d fields, want %d", line, len(fields), want)
+		}
+		for i := range fields {
+			fields[i] = strings.TrimSpace(fields[i])
+		}
+		if err := fn(fields); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	return sc.Err()
+}
+
+func parseLatLong(latS, lonS string) (geo.LatLong, error) {
+	lat, err := strconv.ParseFloat(latS, 64)
+	if err != nil {
+		return geo.LatLong{}, fmt.Errorf("bad latitude %q: %w", latS, err)
+	}
+	lon, err := strconv.ParseFloat(lonS, 64)
+	if err != nil {
+		return geo.LatLong{}, fmt.Errorf("bad longitude %q: %w", lonS, err)
+	}
+	p := geo.LatLong{Lat: lat, Long: lon}
+	if !p.Valid() {
+		return geo.LatLong{}, fmt.Errorf("coordinates %v out of range", p)
+	}
+	return p, nil
+}
+
+// LoadCountries parses "alpha2 \t alpha3 \t name" records.
+func loadCountries(b *Builder, r io.Reader) error {
+	return forEachRecord(r, 3, func(f []string) error {
+		return b.AddCountry(f[0], f[1], f[2])
+	})
+}
+
+// LoadStates parses "country \t code \t name" records.
+func loadStates(b *Builder, r io.Reader) error {
+	return forEachRecord(r, 3, func(f []string) error {
+		return b.AddState(f[0], f[1], f[2])
+	})
+}
+
+// LoadCities parses "city \t region \t country \t lat \t long \t pop".
+func loadCities(b *Builder, r io.Reader) error {
+	return forEachRecord(r, 6, func(f []string) error {
+		pos, err := parseLatLong(f[3], f[4])
+		if err != nil {
+			return err
+		}
+		pop, err := strconv.Atoi(f[5])
+		if err != nil {
+			return fmt.Errorf("bad population %q: %w", f[5], err)
+		}
+		return b.AddPlace(Location{
+			City: f[0], Region: f[1], Country: f[2], Pos: pos, Population: pop,
+		})
+	})
+}
+
+// loadAirports parses "iata \t icao \t city \t region \t country \t lat \t long".
+// Population is joined from the place dictionary when the city is known.
+func loadAirports(b *Builder, r io.Reader) error {
+	return forEachRecord(r, 7, func(f []string) error {
+		pos, err := parseLatLong(f[5], f[6])
+		if err != nil {
+			return err
+		}
+		loc := Location{City: f[2], Region: f[3], Country: f[4], Pos: pos}
+		if p, ok := b.PlaceLocation(f[2], f[3], f[4]); ok {
+			loc.Population = p.Population
+		}
+		return b.AddAirport(f[0], f[1], loc)
+	})
+}
+
+// loadLocodes parses "locode \t city \t region \t country \t lat \t long".
+func loadLocodes(b *Builder, r io.Reader) error {
+	return forEachRecord(r, 6, func(f []string) error {
+		pos, err := parseLatLong(f[4], f[5])
+		if err != nil {
+			return err
+		}
+		loc := Location{City: f[1], Region: f[2], Country: f[3], Pos: pos}
+		if p, ok := b.PlaceLocation(f[1], f[2], f[3]); ok {
+			loc.Population = p.Population
+		}
+		return b.AddLocode(f[0], loc)
+	})
+}
+
+// loadCLLI parses "prefix \t city \t region \t country"; coordinates are
+// joined from the place dictionary (the paper joins iconectiv city names
+// against GeoNames the same way).
+func loadCLLI(b *Builder, r io.Reader) error {
+	return forEachRecord(r, 4, func(f []string) error {
+		p, ok := b.PlaceLocation(f[1], f[2], f[3])
+		if !ok {
+			return fmt.Errorf("CLLI %s: city %q (%s,%s) not in place dictionary", f[0], f[1], f[2], f[3])
+		}
+		return b.AddCLLI(f[0], *p)
+	})
+}
+
+// loadFacilities parses "name \t address \t city \t region \t country \t lat \t long".
+func loadFacilities(b *Builder, r io.Reader) error {
+	return forEachRecord(r, 7, func(f []string) error {
+		pos, err := parseLatLong(f[5], f[6])
+		if err != nil {
+			return err
+		}
+		loc := Location{City: f[2], Region: f[3], Country: f[4], Pos: pos}
+		return b.AddFacility(f[0], f[1], loc)
+	})
+}

@@ -1,0 +1,29 @@
+package geodict
+
+import "strings"
+
+// NormalizeName canonicalises a place, country, or facility name for
+// dictionary lookup: lower-case it and strip every character that is not
+// a letter or digit, so "Fort Collins" → "fortcollins", "St. Louis" →
+// "stlouis", and "111 8th Ave" → "1118thave". This mirrors how operators
+// embed multi-word names in hostnames without separators.
+func NormalizeName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range strings.ToLower(s) {
+		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// SplitWords splits a place name into its constituent lower-case words,
+// used by the abbreviation matcher's multi-word first-letter rule
+// ("nyk" may abbreviate "new york", "nwk" may not).
+func SplitWords(s string) []string {
+	fields := strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !(r >= 'a' && r <= 'z') && !(r >= '0' && r <= '9')
+	})
+	return fields
+}

@@ -1,0 +1,44 @@
+package itdk
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCorpus: arbitrary corpus files must never panic, and anything
+// accepted must survive a write/read round trip.
+func FuzzReadCorpus(f *testing.F) {
+	f.Add("node N1: 192.0.2.1 192.0.2.2\nnode.name N1 192.0.2.1 a.example.net\n" +
+		"node.geo N1: 39.0438 -77.4874 ashburn|va|us\nlink N1 N1\n")
+	f.Add("node N1: 192.0.2.1\nnode N2: 192.0.2.2\nlink N1 N2\n")
+	f.Add("# comments only\n")
+	f.Add("bogus\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		c, err := ReadCorpus(strings.NewReader(in), "fuzz", false)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteNodes(&buf, c); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteNames(&buf, c); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteGeo(&buf, c); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteLinks(&buf, c); err != nil {
+			t.Fatal(err)
+		}
+		c2, err := ReadCorpus(&buf, "fuzz2", false)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if c2.Len() != c.Len() || len(c2.Links) != len(c.Links) {
+			t.Fatalf("round trip changed shape: %d/%d routers, %d/%d links",
+				c.Len(), c2.Len(), len(c.Links), len(c2.Links))
+		}
+	})
+}

@@ -1,0 +1,192 @@
+// Package itdk models the router-level topology corpus that Hoiho learns
+// from — the shape of CAIDA's Internet Topology Data Kit (paper §5.1.3).
+//
+// A corpus contains routers; each router aggregates the interfaces that
+// alias resolution (MIDAR, Mercator, Speedtrap in the paper) inferred to
+// belong to one device, and each interface may carry a hostname from a
+// PTR lookup. Synthetic corpora additionally retain per-router ground
+// truth locations, standing in for the operator validation data the
+// paper collected by email.
+package itdk
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"hoiho/internal/geo"
+	"hoiho/internal/psl"
+)
+
+// Interface is a router interface: an IP address and, when a PTR record
+// exists, its hostname.
+type Interface struct {
+	Addr     netip.Addr
+	Hostname string // empty when the address has no PTR record
+}
+
+// GroundTruth is the true location of a router, available for synthetic
+// corpora and for routers validated by operators.
+type GroundTruth struct {
+	City    string
+	Region  string
+	Country string
+	Pos     geo.LatLong
+}
+
+// Router is an alias-resolved router.
+type Router struct {
+	ID         string // node identifier ("N123")
+	Interfaces []Interface
+	Truth      *GroundTruth // nil when unknown
+}
+
+// Hostnames returns the router's distinct non-empty hostnames, in
+// interface order.
+func (r *Router) Hostnames() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, ifc := range r.Interfaces {
+		if ifc.Hostname != "" && !seen[ifc.Hostname] {
+			seen[ifc.Hostname] = true
+			out = append(out, ifc.Hostname)
+		}
+	}
+	return out
+}
+
+// HasHostname reports whether any interface has a PTR hostname.
+func (r *Router) HasHostname() bool {
+	for _, ifc := range r.Interfaces {
+		if ifc.Hostname != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// Link is an inferred router-level adjacency (two routers that appeared
+// consecutively in traceroute paths).
+type Link struct {
+	A, B string // router IDs
+}
+
+// Corpus is a router-level topology.
+type Corpus struct {
+	Name    string // e.g. "IPv4 Aug 2020"
+	IPv6    bool
+	Routers []*Router
+	Links   []Link
+	byID    map[string]*Router
+	nbrs    map[string][]string
+}
+
+// NewCorpus returns an empty corpus with the given name.
+func NewCorpus(name string, ipv6 bool) *Corpus {
+	return &Corpus{Name: name, IPv6: ipv6, byID: make(map[string]*Router)}
+}
+
+// Add appends a router to the corpus. It returns an error on a duplicate
+// or empty router ID.
+func (c *Corpus) Add(r *Router) error {
+	if r.ID == "" {
+		return fmt.Errorf("itdk: router with empty ID")
+	}
+	if _, dup := c.byID[r.ID]; dup {
+		return fmt.Errorf("itdk: duplicate router ID %s", r.ID)
+	}
+	c.byID[r.ID] = r
+	c.Routers = append(c.Routers, r)
+	return nil
+}
+
+// Router returns the router with the given ID, or nil.
+func (c *Corpus) Router(id string) *Router { return c.byID[id] }
+
+// AddLink records a router-level adjacency. Both endpoints must exist.
+func (c *Corpus) AddLink(a, b string) error {
+	if c.byID[a] == nil || c.byID[b] == nil {
+		return fmt.Errorf("itdk: link references unknown router (%s, %s)", a, b)
+	}
+	if a == b {
+		return fmt.Errorf("itdk: self-link on %s", a)
+	}
+	c.Links = append(c.Links, Link{A: a, B: b})
+	if c.nbrs == nil {
+		c.nbrs = make(map[string][]string)
+	}
+	c.nbrs[a] = append(c.nbrs[a], b)
+	c.nbrs[b] = append(c.nbrs[b], a)
+	return nil
+}
+
+// Neighbors returns the routers adjacent to id.
+func (c *Corpus) Neighbors(id string) []string { return c.nbrs[id] }
+
+// Len returns the number of routers in the corpus.
+func (c *Corpus) Len() int { return len(c.Routers) }
+
+// RouterHostname pairs a router with one of its hostnames, tagged with
+// the registrable suffix the hostname falls under.
+type RouterHostname struct {
+	Router   *Router
+	Hostname string
+	Suffix   string
+}
+
+// SuffixGroup is the set of router hostnames under one registrable
+// domain suffix — the unit over which Hoiho learns a naming convention.
+type SuffixGroup struct {
+	Suffix string
+	Hosts  []RouterHostname
+}
+
+// GroupBySuffix partitions the corpus's hostnames by registrable domain
+// suffix using the public suffix list, returning groups sorted by suffix.
+// Hostnames equal to their suffix (no prefix to learn from) are skipped.
+func (c *Corpus) GroupBySuffix(list *psl.List) []*SuffixGroup {
+	groups := make(map[string]*SuffixGroup)
+	for _, r := range c.Routers {
+		for _, hn := range r.Hostnames() {
+			suffix := list.RegistrableDomain(hn)
+			if suffix == "" || strings.EqualFold(hn, suffix) {
+				continue
+			}
+			g := groups[suffix]
+			if g == nil {
+				g = &SuffixGroup{Suffix: suffix}
+				groups[suffix] = g
+			}
+			g.Hosts = append(g.Hosts, RouterHostname{Router: r, Hostname: hn, Suffix: suffix})
+		}
+	}
+	out := make([]*SuffixGroup, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Suffix < out[j].Suffix })
+	return out
+}
+
+// Stats summarises a corpus in the shape of the paper's Table 1 rows.
+type Stats struct {
+	Routers      int
+	WithHostname int
+	WithTruth    int
+}
+
+// Stats computes corpus summary statistics.
+func (c *Corpus) Stats() Stats {
+	var s Stats
+	s.Routers = len(c.Routers)
+	for _, r := range c.Routers {
+		if r.HasHostname() {
+			s.WithHostname++
+		}
+		if r.Truth != nil {
+			s.WithTruth++
+		}
+	}
+	return s
+}

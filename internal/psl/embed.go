@@ -1,0 +1,35 @@
+package psl
+
+import (
+	_ "embed"
+	"strings"
+	"sync"
+)
+
+//go:embed data/public_suffix_list.dat
+var embeddedList string
+
+var (
+	defaultOnce sync.Once
+	defaultList *List
+	defaultErr  error
+)
+
+// Default returns the list parsed from the embedded public suffix data —
+// a curated subset of the Mozilla list covering the generic TLDs plus the
+// multi-label and wildcard country suffixes exercised by the corpus.
+func Default() (*List, error) {
+	defaultOnce.Do(func() {
+		defaultList, defaultErr = Parse(strings.NewReader(embeddedList))
+	})
+	return defaultList, defaultErr
+}
+
+// MustDefault is Default but panics on error; for tests and examples.
+func MustDefault() *List {
+	l, err := Default()
+	if err != nil {
+		panic(err)
+	}
+	return l
+}

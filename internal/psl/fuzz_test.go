@@ -1,0 +1,49 @@
+package psl
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzPublicSuffix: arbitrary domains must never panic, and the suffix
+// must always be a trailing portion of the (normalised) input.
+func FuzzPublicSuffix(f *testing.F) {
+	f.Add("e0-0.cr1.lhr1.ntt.net")
+	f.Add("ccnw.net.au")
+	f.Add("...")
+	f.Add("")
+	f.Add("sub.www.ck")
+	f.Add("UPPER.Case.COM.")
+	f.Fuzz(func(t *testing.T, domain string) {
+		l := MustDefault()
+		suffix := l.PublicSuffix(domain)
+		norm := strings.ToLower(strings.Trim(domain, "."))
+		if suffix != "" && !strings.HasSuffix(norm, suffix) {
+			t.Fatalf("PublicSuffix(%q) = %q is not a suffix of %q", domain, suffix, norm)
+		}
+		rd := l.RegistrableDomain(domain)
+		if rd != "" {
+			if !strings.HasSuffix(norm, rd) {
+				t.Fatalf("RegistrableDomain(%q) = %q is not a suffix", domain, rd)
+			}
+			if l.RegistrableDomain(rd) != rd {
+				t.Fatalf("RegistrableDomain is not idempotent on %q", rd)
+			}
+		}
+	})
+}
+
+// FuzzParse: arbitrary rule files must never panic.
+func FuzzParse(f *testing.F) {
+	f.Add("com\nnet\n*.ck\n!www.ck\n")
+	f.Add("// comment only\n")
+	f.Add("*")
+	f.Add("!")
+	f.Fuzz(func(t *testing.T, rules string) {
+		l, err := Parse(strings.NewReader(rules))
+		if err != nil {
+			return
+		}
+		_ = l.PublicSuffix("a.b.example.com")
+	})
+}

@@ -1,0 +1,52 @@
+package rex
+
+import (
+	"testing"
+
+	"hoiho/internal/geodict"
+)
+
+// FuzzParsePattern feeds arbitrary patterns to the published-format
+// parser: it must never panic, and anything it accepts must round-trip
+// through String() and compile.
+func FuzzParsePattern(f *testing.F) {
+	f.Add(`^.+\.([a-z]{3})\d+\.alter\.net$`)
+	f.Add(`^[^\.]+\.([a-z]+)\d*\.([a-z]{2})\.alter\.net$`)
+	f.Add(`^\d+\.[a-z]+\d+\.([a-z]{6})[a-z\d]+-x\.alter\.net$`)
+	f.Add(`^(((`)
+	f.Add(`^$`)
+	f.Add(``)
+	f.Add(`^([a-z]{999999})$`)
+	f.Fuzz(func(t *testing.T, pattern string) {
+		roles := []Role{RoleHint}
+		r, err := ParsePattern(geodict.HintIATA, pattern, roles)
+		if err != nil {
+			return
+		}
+		if r.String() != pattern {
+			t.Fatalf("accepted pattern does not round-trip: %q -> %q", pattern, r.String())
+		}
+		if _, err := r.Compile(); err != nil {
+			t.Fatalf("accepted pattern does not compile: %q: %v", pattern, err)
+		}
+	})
+}
+
+// FuzzMatch feeds arbitrary hostnames to a fixed regex: no panics, and
+// every reported extraction must be a substring of the input.
+func FuzzMatch(f *testing.F) {
+	re := alterIATA()
+	f.Add("0.xe-10-0-0.gw1.sfo16.alter.net")
+	f.Add("")
+	f.Add(".")
+	f.Add("a.b.c.alter.net")
+	f.Fuzz(func(t *testing.T, host string) {
+		ext, ok := re.Match(host)
+		if !ok {
+			return
+		}
+		if len(ext.Hint) != 3 {
+			t.Fatalf("IATA extraction %q has wrong width", ext.Hint)
+		}
+	})
+}

@@ -1,0 +1,323 @@
+// Package rex implements the regex-construction engine behind Hoiho's
+// geolocation conventions (paper appendix A). Candidate regexes are
+// represented as sequences of typed components — literals, punctuation
+// separators, punctuation-excluding wildcards, character classes, and
+// capture groups annotated with the geographic role of the captured
+// string. The representation supports the four construction phases:
+// base generation, digit-merge, character-class embedding, and regex-set
+// assembly into naming conventions.
+package rex
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"hoiho/internal/geodict"
+)
+
+// Kind enumerates component types.
+type Kind uint8
+
+// Component kinds, mirroring the regex fragments the paper's builder
+// emits.
+const (
+	KindLiteral    Kind = iota // fixed text, escaped on render
+	KindDot                    // literal '.'
+	KindDash                   // literal '-'
+	KindAny                    // .+   (at most one per regex)
+	KindNotDot                 // [^\.]+
+	KindNotDash                // [^-]+
+	KindAlphaFixed             // [a-z]{N}
+	KindAlpha                  // [a-z]+
+	KindDigits                 // \d+
+	KindDigitsOpt              // \d*
+	KindAlnum                  // [a-z\d]+
+)
+
+// Role describes what a capture group extracts.
+type Role uint8
+
+// Capture roles. RoleHint captures the geohint string interpreted by the
+// regex's hint type; RoleCLLI4 and RoleCLLI2 capture the split halves of
+// a CLLI prefix (paper fig. 6e); RoleState and RoleCountry capture
+// annotation codes that accompany the geohint.
+const (
+	RoleNone Role = iota
+	RoleHint
+	RoleCLLI4
+	RoleCLLI2
+	RoleState
+	RoleCountry
+)
+
+// String returns the role name.
+func (r Role) String() string {
+	switch r {
+	case RoleNone:
+		return "none"
+	case RoleHint:
+		return "hint"
+	case RoleCLLI4:
+		return "clli4"
+	case RoleCLLI2:
+		return "clli2"
+	case RoleState:
+		return "state"
+	case RoleCountry:
+		return "country"
+	}
+	return fmt.Sprintf("role(%d)", uint8(r))
+}
+
+// Component is one element of a regex.
+type Component struct {
+	Kind    Kind
+	N       int    // repeat count for KindAlphaFixed
+	Capture bool   // whether the component is a capture group
+	Role    Role   // meaning of the capture (RoleNone if not captured)
+	Lit     string // text for KindLiteral
+}
+
+// render writes the component's regex fragment.
+func (c Component) render(b *strings.Builder) {
+	if c.Capture {
+		b.WriteByte('(')
+	}
+	switch c.Kind {
+	case KindLiteral:
+		b.WriteString(regexp.QuoteMeta(c.Lit))
+	case KindDot:
+		b.WriteString(`\.`)
+	case KindDash:
+		b.WriteString(`-`)
+	case KindAny:
+		b.WriteString(`.+`)
+	case KindNotDot:
+		b.WriteString(`[^\.]+`)
+	case KindNotDash:
+		b.WriteString(`[^-]+`)
+	case KindAlphaFixed:
+		fmt.Fprintf(b, `[a-z]{%d}`, c.N)
+	case KindAlpha:
+		b.WriteString(`[a-z]+`)
+	case KindDigits:
+		b.WriteString(`\d+`)
+	case KindDigitsOpt:
+		b.WriteString(`\d*`)
+	case KindAlnum:
+		b.WriteString(`[a-z\d]+`)
+	}
+	if c.Capture {
+		b.WriteByte(')')
+	}
+}
+
+// equal reports whether two components are identical.
+func (c Component) equal(o Component) bool { return c == o }
+
+// Regex is a candidate geohint-extraction regex: an anchored sequence of
+// components ending in the suffix literal, plus the plan for decoding
+// the captures.
+type Regex struct {
+	Comps []Component
+	Hint  geodict.HintType // dictionary that interprets the RoleHint capture
+
+	compiled  *regexp.Regexp
+	probe     *regexp.Regexp // every component captured, for specialization
+	rendering string
+}
+
+// New assembles a regex from components. The component list should
+// cover the entire hostname (the caller appends the suffix literal).
+func New(hint geodict.HintType, comps ...Component) *Regex {
+	return &Regex{Comps: comps, Hint: hint}
+}
+
+// Clone returns a deep copy with cleared caches.
+func (r *Regex) Clone() *Regex {
+	c := &Regex{Hint: r.Hint}
+	c.Comps = append([]Component(nil), r.Comps...)
+	return c
+}
+
+// Validate checks structural invariants: at most one KindAny component,
+// at most one RoleHint capture, captures only on capturable kinds, and a
+// decodable capture plan.
+func (r *Regex) Validate() error {
+	anies, hints := 0, 0
+	for _, c := range r.Comps {
+		if c.Kind == KindAny {
+			anies++
+			if c.Capture {
+				return fmt.Errorf("rex: .+ cannot be captured")
+			}
+		}
+		if c.Capture {
+			if c.Role == RoleNone {
+				return fmt.Errorf("rex: capture without role")
+			}
+			if c.Role == RoleHint {
+				hints++
+			}
+		} else if c.Role != RoleNone {
+			return fmt.Errorf("rex: role %v on non-capture component", c.Role)
+		}
+	}
+	if anies > 1 {
+		return fmt.Errorf("rex: more than one .+ component")
+	}
+	roles := r.Roles()
+	hasCLLIPair := containsRole(roles, RoleCLLI4) && containsRole(roles, RoleCLLI2)
+	if hints == 0 && !hasCLLIPair {
+		return fmt.Errorf("rex: no geohint capture")
+	}
+	if hints > 1 {
+		return fmt.Errorf("rex: multiple geohint captures")
+	}
+	if hints == 1 && (containsRole(roles, RoleCLLI4) || containsRole(roles, RoleCLLI2)) {
+		return fmt.Errorf("rex: mixed hint and split-CLLI captures")
+	}
+	return nil
+}
+
+// Roles returns the roles of the capture groups, in order.
+func (r *Regex) Roles() []Role {
+	var out []Role
+	for _, c := range r.Comps {
+		if c.Capture {
+			out = append(out, c.Role)
+		}
+	}
+	return out
+}
+
+func containsRole(roles []Role, want Role) bool {
+	for _, r := range roles {
+		if r == want {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the full anchored regex (paper notation, e.g.
+// `^.+\.([a-z]{3})\d+\.alter\.net$`).
+func (r *Regex) String() string {
+	if r.rendering == "" {
+		var b strings.Builder
+		b.WriteByte('^')
+		for _, c := range r.Comps {
+			c.render(&b)
+		}
+		b.WriteByte('$')
+		r.rendering = b.String()
+	}
+	return r.rendering
+}
+
+// Compile returns the compiled regex, caching the result.
+func (r *Regex) Compile() (*regexp.Regexp, error) {
+	if r.compiled == nil {
+		re, err := regexp.Compile(r.String())
+		if err != nil {
+			return nil, fmt.Errorf("rex: compile %q: %w", r.String(), err)
+		}
+		r.compiled = re
+	}
+	return r.compiled, nil
+}
+
+// Extraction is the decoded result of matching a hostname.
+type Extraction struct {
+	Hint    string           // the geohint string ("lhr", or joined CLLI halves)
+	Type    geodict.HintType // dictionary to interpret Hint
+	State   string           // captured state code, if any
+	Country string           // captured country code, if any
+}
+
+// Match applies the regex to a full hostname and decodes the captures
+// into an Extraction. ok is false when the hostname does not match.
+func (r *Regex) Match(hostname string) (Extraction, bool) {
+	re, err := r.Compile()
+	if err != nil {
+		return Extraction{}, false
+	}
+	m := re.FindStringSubmatch(hostname)
+	if m == nil {
+		return Extraction{}, false
+	}
+	ext := Extraction{Type: r.Hint}
+	var clli4, clli2 string
+	i := 0
+	for _, c := range r.Comps {
+		if !c.Capture {
+			continue
+		}
+		i++
+		switch c.Role {
+		case RoleHint:
+			ext.Hint = m[i]
+		case RoleCLLI4:
+			clli4 = m[i]
+		case RoleCLLI2:
+			clli2 = m[i]
+		case RoleState:
+			ext.State = m[i]
+		case RoleCountry:
+			ext.Country = m[i]
+		}
+	}
+	if clli4 != "" && clli2 != "" {
+		ext.Hint = clli4 + clli2
+	}
+	return ext, true
+}
+
+// probeRegexp renders a variant where every component is captured, used
+// to recover which substring each component matched (phase 3).
+func (r *Regex) probeRegexp() (*regexp.Regexp, error) {
+	if r.probe == nil {
+		var b strings.Builder
+		b.WriteByte('^')
+		for _, c := range r.Comps {
+			pc := c
+			pc.Capture = true
+			// render adds parens for Capture; for components that were
+			// already captures this just re-wraps identically.
+			pc.render(&b)
+		}
+		b.WriteByte('$')
+		re, err := regexp.Compile(b.String())
+		if err != nil {
+			return nil, fmt.Errorf("rex: compile probe %q: %w", b.String(), err)
+		}
+		r.probe = re
+	}
+	return r.probe, nil
+}
+
+// ComponentMatches returns the substring each component matched against
+// the hostname, or ok=false if the hostname does not match.
+func (r *Regex) ComponentMatches(hostname string) ([]string, bool) {
+	re, err := r.probeRegexp()
+	if err != nil {
+		return nil, false
+	}
+	m := re.FindStringSubmatch(hostname)
+	if m == nil {
+		return nil, false
+	}
+	return m[1:], true
+}
+
+// Equal reports whether two regexes render identically and share a hint
+// type.
+func (r *Regex) Equal(o *Regex) bool {
+	return r.Hint == o.Hint && r.String() == o.String()
+}
+
+// Key returns a dedup key combining hint type and rendering.
+func (r *Regex) Key() string {
+	return fmt.Sprintf("%d|%s", r.Hint, r.String())
+}

@@ -1,0 +1,126 @@
+package rtt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The matrix file format is line-oriented:
+//
+//	vp <name> <lat> <long> [spoof-tcp]
+//	ping <router> <vp> <rtt-ms> <icmp|udp|tcp>
+//	trace <router> <vp> <rtt-ms>
+//
+// Comment lines begin with '#'. All vp records must precede the sample
+// records that reference them.
+
+// WriteMatrix serialises a matrix.
+func WriteMatrix(w io.Writer, m *Matrix) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %d vantage points\n", len(m.vps))
+	for _, vp := range m.vps {
+		fmt.Fprintf(bw, "vp %s %.4f %.4f", vp.Name, vp.Pos.Lat, vp.Pos.Long)
+		if vp.SpoofTCP {
+			bw.WriteString(" spoof-tcp")
+		}
+		bw.WriteByte('\n')
+	}
+	for _, router := range m.Routers() {
+		for _, me := range m.PingMeasurements(router) {
+			fmt.Fprintf(bw, "ping %s %s %.3f %s\n", router, me.VP.Name, me.Sample.RTTms, me.Sample.Method)
+		}
+	}
+	for router := range m.trace {
+		for _, me := range m.TraceMeasurements(router) {
+			fmt.Fprintf(bw, "trace %s %s %.3f\n", router, me.VP.Name, me.Sample.RTTms)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrix parses a matrix file.
+func ReadMatrix(r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	var vps []*VP
+	var m *Matrix
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "vp":
+			if m != nil {
+				return nil, fmt.Errorf("rtt: line %d: vp record after samples", line)
+			}
+			if len(fields) < 4 || len(fields) > 5 {
+				return nil, fmt.Errorf("rtt: line %d: malformed vp", line)
+			}
+			lat, err1 := strconv.ParseFloat(fields[2], 64)
+			long, err2 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("rtt: line %d: bad coordinates", line)
+			}
+			vp := &VP{Name: fields[1]}
+			vp.Pos.Lat, vp.Pos.Long = lat, long
+			if len(fields) == 5 {
+				if fields[4] != "spoof-tcp" {
+					return nil, fmt.Errorf("rtt: line %d: unknown flag %q", line, fields[4])
+				}
+				vp.SpoofTCP = true
+			}
+			vps = append(vps, vp)
+		case "ping", "trace":
+			if m == nil {
+				m = NewMatrix(vps)
+			}
+			want := 5
+			if fields[0] == "trace" {
+				want = 4
+			}
+			if len(fields) != want {
+				return nil, fmt.Errorf("rtt: line %d: malformed %s", line, fields[0])
+			}
+			rttMs, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("rtt: line %d: bad rtt: %w", line, err)
+			}
+			s := Sample{RTTms: rttMs}
+			if fields[0] == "ping" {
+				switch fields[4] {
+				case "icmp":
+					s.Method = ICMP
+				case "udp":
+					s.Method = UDP
+				case "tcp":
+					s.Method = TCP
+				default:
+					return nil, fmt.Errorf("rtt: line %d: bad method %q", line, fields[4])
+				}
+				if err := m.SetPing(fields[1], fields[2], s); err != nil {
+					return nil, fmt.Errorf("rtt: line %d: %w", line, err)
+				}
+			} else {
+				if err := m.SetTrace(fields[1], fields[2], s); err != nil {
+					return nil, fmt.Errorf("rtt: line %d: %w", line, err)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("rtt: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if m == nil {
+		m = NewMatrix(vps)
+	}
+	return m, nil
+}

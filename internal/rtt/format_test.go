@@ -1,0 +1,75 @@
+package rtt
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMatrixRoundTrip(t *testing.T) {
+	m := NewMatrix([]*VP{
+		{Name: "a", Pos: vpLondon.Pos},
+		{Name: "b", Pos: vpTokyo.Pos, SpoofTCP: true},
+	})
+	_ = m.SetPing("N1", "a", Sample{RTTms: 12.5, Method: ICMP})
+	_ = m.SetPing("N1", "b", Sample{RTTms: 99.25, Method: TCP})
+	_ = m.SetPing("N2", "a", Sample{RTTms: 3, Method: UDP})
+	_ = m.SetTrace("N1", "a", Sample{RTTms: 80})
+
+	var buf bytes.Buffer
+	if err := WriteMatrix(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrix(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.VPs()) != 2 || !got.VP("b").SpoofTCP {
+		t.Fatalf("VPs lost: %+v", got.VPs())
+	}
+	s, ok := got.Ping("N1", "b")
+	if !ok || s.Method != TCP || math.Abs(s.RTTms-99.25) > 1e-9 {
+		t.Errorf("ping lost: %+v %v", s, ok)
+	}
+	if s, ok := got.Ping("N2", "a"); !ok || s.Method != UDP || s.RTTms != 3 {
+		t.Errorf("N2 ping lost: %+v %v", s, ok)
+	}
+	tr, ok := got.Trace("N1", "a")
+	if !ok || tr.RTTms != 80 {
+		t.Errorf("trace lost: %+v %v", tr, ok)
+	}
+	if got.VP("a").Pos.Lat == 0 {
+		t.Error("coordinates lost")
+	}
+}
+
+func TestReadMatrixErrors(t *testing.T) {
+	cases := []string{
+		"vp a 1 2\nping N1 a 5 icmp\nvp b 1 2", // vp after samples
+		"vp a x y",                             // bad coords
+		"vp a 1 2 bogus",                       // unknown flag
+		"ping N1 a 5 icmp",                     // sample without any vp... actually allowed? unknown vp -> error
+		"vp a 1 2\nping N1 b 5 icmp",           // unknown vp
+		"vp a 1 2\nping N1 a x icmp",           // bad rtt
+		"vp a 1 2\nping N1 a 5 smoke",          // bad method
+		"vp a 1 2\ntrace N1 a",                 // short trace
+		"bogus",                                // unknown record
+		"vp a",                                 // malformed vp
+	}
+	for _, in := range cases {
+		if _, err := ReadMatrix(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+}
+
+func TestReadMatrixEmpty(t *testing.T) {
+	m, err := ReadMatrix(strings.NewReader("# nothing\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.VPs()) != 0 {
+		t.Error("expected empty matrix")
+	}
+}

@@ -1,0 +1,33 @@
+package rtt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadMatrix: arbitrary matrix files must never panic, and anything
+// accepted must survive a write/read round trip.
+func FuzzReadMatrix(f *testing.F) {
+	f.Add("vp a 1.0 2.0\nvp b 3.0 4.0 spoof-tcp\nping N1 a 5.5 icmp\ntrace N1 b 80 \n")
+	f.Add("# empty\n")
+	f.Add("vp a x y\n")
+	f.Add("ping N1 a 5 icmp\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		m, err := ReadMatrix(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteMatrix(&buf, m); err != nil {
+			t.Fatalf("accepted matrix failed to serialise: %v", err)
+		}
+		m2, err := ReadMatrix(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(m2.VPs()) != len(m.VPs()) || len(m2.Routers()) != len(m.Routers()) {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}

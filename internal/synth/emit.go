@@ -1,0 +1,278 @@
+package synth
+
+import (
+	"fmt"
+	"net/netip"
+
+	"hoiho/internal/geodict"
+	"hoiho/internal/itdk"
+)
+
+var ifcPool = []string{
+	"ae-1", "ae-2", "ae-11", "xe-0-0-0", "xe-1-2-0", "ge-0-1", "te0-0-2",
+	"0", "po-3", "hu0-0-0-1", "et-2-1-0", "100ge3-1", "be-33",
+}
+
+var rolePool = []string{"cr", "br", "gw", "core", "edge", "ar", "mpr", "bcr"}
+
+var noiseWords = []string{"static", "cust", "mgmt", "loop", "dsl", "dhcp", "pool", "ptr"}
+
+var customerNames = []string{"acme", "initech", "umbrella", "globex", "hooli", "stark", "wayne", "tyrell"}
+
+// nextAddr allocates a unique synthetic address.
+func (g *generator) nextAddr(ipv6 bool) netip.Addr {
+	g.ipN++
+	if ipv6 {
+		return netip.MustParseAddr(fmt.Sprintf("2001:db8:%x:%x::1", g.ipN>>16, g.ipN&0xffff))
+	}
+	// 10.x.y.z gives us ~16M unique addresses.
+	return netip.MustParseAddr(fmt.Sprintf("10.%d.%d.%d",
+		(g.ipN>>16)&0xff, (g.ipN>>8)&0xff, g.ipN&0xff))
+}
+
+// emitOperator creates the routers and hostnames for one operator.
+func (g *generator) emitOperator(w *World, spec *OperatorSpec) {
+	hints := w.TruthHints[spec.Suffix]
+	if hints == nil {
+		hints = make(map[string]*geodict.Location)
+		w.TruthHints[spec.Suffix] = hints
+	}
+	for _, site := range spec.Sites {
+		hints[site.Code] = site.Loc
+	}
+
+	routerN := 0
+	siteRouters := make([][]string, len(spec.Sites))
+	for si, site := range spec.Sites {
+		// Between 2 and 2*RoutersPerSite-2 routers per PoP; real PoPs
+		// hold several devices, which also gives stage 4 the congruent
+		// routers it needs.
+		n := 2 + g.rng.Intn(spec.RoutersPerSite*2-3)
+		for i := 0; i < n; i++ {
+			routerN++
+			id := fmt.Sprintf("%s-N%d", spec.Suffix, routerN)
+			r := &itdk.Router{
+				ID: id,
+				Truth: &itdk.GroundTruth{
+					City: site.Loc.City, Region: site.Loc.Region,
+					Country: site.Loc.Country, Pos: site.Loc.Pos,
+				},
+			}
+			w.TruthRouter[id] = site.Loc
+
+			// Each router has a stable device name ("cr2") shared by
+			// all its hostnames — the router-name signal of Hoiho's
+			// IMC 2019 work.
+			role := rolePool[g.rng.Intn(len(rolePool))]
+			rn := 1 + g.rng.Intn(4)
+
+			hostname := ""
+			named := false
+			if g.rng.Float64() < spec.HostnameRate {
+				named = true
+				switch {
+				case g.rng.Float64() > spec.ConsistencyRate:
+					hostname = g.noiseHostname(spec.Suffix)
+				case g.rng.Float64() < spec.StaleRate && len(spec.Sites) > 1:
+					// Stale hostname: another site's code.
+					other := spec.Sites[(si+1+g.rng.Intn(len(spec.Sites)-1))%len(spec.Sites)]
+					hostname = g.renderHostname(spec, other, i, role, rn)
+					w.HintHostnames[hostname] = spec.Suffix
+				default:
+					hostname = g.renderHostname(spec, site, i, role, rn)
+					w.HintHostnames[hostname] = spec.Suffix
+				}
+			}
+			nIfc := 1 + g.rng.Intn(2)
+			for k := 0; k < nIfc; k++ {
+				ifc := itdk.Interface{Addr: g.nextAddr(w.Corpus.IPv6)}
+				if k == 0 {
+					ifc.Hostname = hostname
+					// Some interfaces face a customer: the hostname
+					// gains an interconnect label embedding the
+					// customer's ASN (Hoiho's IMC 2020 signal).
+					if named && !spec.Sloppy && hostname != "" &&
+						g.rng.Float64() < 0.12 {
+						custASN := uint32(64000 + g.rng.Intn(1500))
+						cust := customerNames[g.rng.Intn(len(customerNames))]
+						ifc.Hostname = fmt.Sprintf("as%d-%s.%s", custASN, cust, hostname)
+						delete(w.HintHostnames, hostname)
+						w.HintHostnames[ifc.Hostname] = spec.Suffix
+						w.ASNs[ifc.Addr] = custASN
+					}
+				} else if named && !spec.Sloppy && hostname != "" && g.rng.Float64() < 0.5 {
+					// Additional interface on the same device: same
+					// router name, different interface prefix.
+					ifc.Hostname = g.renderHostname(spec, site, i, role, rn)
+					if ifc.Hostname != "" {
+						w.HintHostnames[ifc.Hostname] = spec.Suffix
+					}
+				}
+				r.Interfaces = append(r.Interfaces, ifc)
+			}
+			if err := w.Corpus.Add(r); err != nil {
+				panic(err) // IDs are unique by construction
+			}
+			siteRouters[si] = append(siteRouters[si], id)
+		}
+	}
+	// Intra-operator topology: routers within a PoP form a chain, and
+	// the first router of each PoP links to the next PoP's — the
+	// router-level adjacencies TBG exploits.
+	for si, ids := range siteRouters {
+		for k := 1; k < len(ids); k++ {
+			mustLink(w, ids[k-1], ids[k])
+		}
+		if si > 0 && len(siteRouters[si-1]) > 0 && len(ids) > 0 {
+			mustLink(w, siteRouters[si-1][0], ids[0])
+		}
+	}
+}
+
+func mustLink(w *World, a, b string) {
+	if err := w.Corpus.AddLink(a, b); err != nil {
+		panic(err)
+	}
+}
+
+// renderHostname renders a router hostname per the operator's style.
+// Roughly 40% of hostnames omit the site-number digits after the code
+// ("lhr" instead of "lhr2") — real operators do both, which is what
+// drives the \d+ → \d* merging of appendix A phase 2 and what DRoP's
+// rigid whole-segment rules can only partially match (paper fig. 2).
+func (g *generator) renderHostname(spec *OperatorSpec, site Site, idx int, role string, rn int) string {
+	ifc := ifcPool[g.rng.Intn(len(ifcPool))]
+	code := site.Code
+	// ~40% of hostnames append a site number to the code ("lhr2"); the
+	// rest embed it bare ("lhr"). The mix drives appendix A's \d+ → \d*
+	// merging, and bounds what DRoP's digit-blind whole-segment rules
+	// can match (paper fig. 2).
+	if g.rng.Float64() >= 0.6 {
+		code = fmt.Sprintf("%s%d", code, 1+idx%4)
+	}
+	if spec.Sloppy {
+		// No stable convention: the code wanders across positions and
+		// delimiters, one template drawn per hostname.
+		switch g.rng.Intn(5) {
+		case 0: // code as its own leading label
+			return fmt.Sprintf("%s.%s%d.%s", code, role, rn, spec.Suffix)
+		case 1: // code fused with the role by a dash
+			return fmt.Sprintf("%s%d-%s.%s.%s", role, rn, code, ifc, spec.Suffix)
+		case 2: // code in the middle with a trailing role label
+			return fmt.Sprintf("%s.%s.%s%d.%s", ifc, code, role, rn, spec.Suffix)
+		case 3: // noise word between code and suffix
+			return fmt.Sprintf("%s.%s.%s.%s", role, code,
+				noiseWords[g.rng.Intn(len(noiseWords))], spec.Suffix)
+		default: // the operator's nominal style
+		}
+	}
+	switch spec.Style {
+	case StyleIATA:
+		return fmt.Sprintf("%s.%s%d.%s.%s", ifc, role, rn, code, spec.Suffix)
+	case StyleIATACC:
+		return fmt.Sprintf("%s.%s%d.%s.%s.%s", ifc, role, rn, code, site.CC, spec.Suffix)
+	case StyleCLLI:
+		return fmt.Sprintf("%s.r%02d.%s.%s.bb.%s", ifc, rn, code, site.CC, spec.Suffix)
+	case StyleSplitCLLI:
+		return fmt.Sprintf("%s.%s%d.%s-%s.%s", ifc, role, rn, site.Code[:4], site.Code[4:], spec.Suffix)
+	case StyleLocode:
+		return fmt.Sprintf("%s.%s%d.%s.%s", ifc, role, rn, code, spec.Suffix)
+	case StyleCity:
+		return fmt.Sprintf("%s.%s.%s.%s", ifc, code, site.CC, spec.Suffix)
+	case StyleCityState:
+		return fmt.Sprintf("%s.%s.%s.%s.%s", ifc, code, site.Loc.Region, site.CC, spec.Suffix)
+	case StyleFacility:
+		return fmt.Sprintf("%s.%s.%s.%s", ifc, site.Code, site.Loc.Country, spec.Suffix)
+	}
+	return ""
+}
+
+// noiseHostname renders a hostname with no geohint.
+func (g *generator) noiseHostname(suffix string) string {
+	w1 := noiseWords[g.rng.Intn(len(noiseWords))]
+	return fmt.Sprintf("%s-%d.%s", w1, g.rng.Intn(1000), suffix)
+}
+
+// emitNoiseOperator creates an operator whose hostnames never contain
+// geohints, exercising the pipeline's rejection path.
+func (g *generator) emitNoiseOperator(w *World, i int, hostnameRate float64, meanRouters int) {
+	suffix := fmt.Sprintf("noise%02d.%s", i, tlds[g.rng.Intn(len(tlds))])
+	n := 1 + g.rng.Intn(2*meanRouters)
+	for k := 0; k < n; k++ {
+		id := fmt.Sprintf("%s-N%d", suffix, k)
+		loc := g.rev.cities[g.rng.Intn(len(g.rev.cities))]
+		r := &itdk.Router{
+			ID: id,
+			Truth: &itdk.GroundTruth{
+				City: loc.City, Region: loc.Region, Country: loc.Country, Pos: loc.Pos,
+			},
+		}
+		w.TruthRouter[id] = loc
+		ifc := itdk.Interface{Addr: g.nextAddr(w.Corpus.IPv6)}
+		// Noise networks name nearly everything (access ISPs with
+		// auto-generated PTR records).
+		if g.rng.Float64() < hostnameRate+0.35 {
+			ifc.Hostname = g.noiseHostname(suffix)
+		}
+		r.Interfaces = append(r.Interfaces, ifc)
+		if err := w.Corpus.Add(r); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// emitAnonymous creates routers with no PTR records at all, modelling
+// the networks that do not name their infrastructure (the bulk of the
+// ITDK's unnamed ~45% of IPv4 routers).
+func (g *generator) emitAnonymous(w *World, count int) {
+	for k := 0; k < count; k++ {
+		id := fmt.Sprintf("anon-N%d", k)
+		loc := g.rev.cities[g.rng.Intn(len(g.rev.cities))]
+		r := &itdk.Router{
+			ID: id,
+			Truth: &itdk.GroundTruth{
+				City: loc.City, Region: loc.Region, Country: loc.Country, Pos: loc.Pos,
+			},
+			Interfaces: []itdk.Interface{{Addr: g.nextAddr(w.Corpus.IPv6)}},
+		}
+		w.TruthRouter[id] = loc
+		if err := w.Corpus.Add(r); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// measure runs the probe campaign: every router is probed from every VP
+// (ping) and observed in traceroute by a small random subset of VPs.
+func (g *generator) measure(w *World) {
+	dm := g.p.Delay
+	vps := w.Matrix.VPs()
+	for _, r := range w.Corpus.Routers {
+		loc := w.TruthRouter[r.ID]
+		if loc == nil {
+			continue
+		}
+		resp := dm.DrawResponsiveness(g.rng)
+		for _, vp := range vps {
+			if s, ok := dm.Probe(g.rng, vp, loc.Pos, resp); ok {
+				if err := w.Matrix.SetPing(r.ID, vp.Name, s); err != nil {
+					panic(err)
+				}
+			}
+		}
+		// Traceroute observations: 1..TracedVPsMax VPs, weighted toward
+		// one (paper fig. 5b: 35.8% observed by a single VP).
+		nTrace := 1
+		for nTrace < g.p.TracedVPsMax && g.rng.Float64() < 0.45 {
+			nTrace++
+		}
+		perm := g.rng.Perm(len(vps))
+		for _, vi := range perm[:nTrace] {
+			vp := vps[vi]
+			s := dm.TraceObservation(g.rng, vp, loc.Pos)
+			if err := w.Matrix.SetTrace(r.ID, vp.Name, s); err != nil {
+				panic(err)
+			}
+		}
+	}
+}

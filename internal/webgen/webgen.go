@@ -1,0 +1,150 @@
+// Package webgen renders learned naming conventions as a static website
+// — the paper's third artifact: "a public web site of inferred regexes
+// and geohints [that] served as a conduit to facilitate ground truth
+// validation from operators, who could easily verify or correct our
+// inferences" (§8).
+//
+// The site is self-contained HTML: an index ranking suffixes by
+// classification and coverage, and one page per suffix showing its
+// regexes, learned custom geohints, and evaluation tallies.
+package webgen
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"hoiho/internal/core"
+)
+
+// Site prepares a result for rendering.
+type Site struct {
+	Title string
+	NCs   []*core.NamingConvention
+}
+
+// NewSite builds a Site from a pipeline result, ordered by
+// classification (good first), then by true positives.
+func NewSite(title string, res *core.Result) *Site {
+	s := &Site{Title: title}
+	for _, nc := range res.NCs {
+		s.NCs = append(s.NCs, nc)
+	}
+	sort.Slice(s.NCs, func(i, j int) bool {
+		a, b := s.NCs[i], s.NCs[j]
+		if a.Class != b.Class {
+			return a.Class > b.Class
+		}
+		if a.Tally.TP != b.Tally.TP {
+			return a.Tally.TP > b.Tally.TP
+		}
+		return a.Suffix < b.Suffix
+	})
+	return s
+}
+
+// PageName returns the file name for a suffix's page.
+func PageName(suffix string) string {
+	return strings.ReplaceAll(suffix, ".", "_") + ".html"
+}
+
+var funcs = template.FuncMap{
+	"page": PageName,
+	"pct":  func(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) },
+}
+
+var indexTmpl = template.Must(template.New("index").Funcs(funcs).Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{{.Title}}</title>
+<style>
+body { font-family: sans-serif; margin: 2em; }
+table { border-collapse: collapse; }
+td, th { border: 1px solid #ccc; padding: 4px 10px; text-align: left; }
+.good { background: #e6f4e6; } .promising { background: #fdf6e3; } .poor { background: #fbeaea; }
+code { background: #f4f4f4; padding: 1px 4px; }
+</style></head><body>
+<h1>{{.Title}}</h1>
+<p>{{len .NCs}} suffixes with learned naming conventions.</p>
+<table>
+<tr><th>suffix</th><th>class</th><th>TP</th><th>FP</th><th>PPV</th><th>unique hints</th><th>learned hints</th></tr>
+{{range .NCs}}<tr class="{{.Class}}">
+<td><a href="{{page .Suffix}}">{{.Suffix}}</a></td>
+<td>{{.Class}}</td><td>{{.Tally.TP}}</td><td>{{.Tally.FP}}</td>
+<td>{{pct .Tally.PPV}}</td><td>{{.Tally.UniqueHints}}</td><td>{{len .Learned}}</td>
+</tr>{{end}}
+</table>
+</body></html>
+`))
+
+var suffixTmpl = template.Must(template.New("suffix").Funcs(funcs).Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{{.Suffix}} — naming convention</title>
+<style>
+body { font-family: sans-serif; margin: 2em; }
+table { border-collapse: collapse; }
+td, th { border: 1px solid #ccc; padding: 4px 10px; text-align: left; }
+code { background: #f4f4f4; padding: 1px 4px; }
+</style></head><body>
+<p><a href="index.html">&larr; all suffixes</a></p>
+<h1>{{.Suffix}}</h1>
+<p>Classification: <b>{{.Class}}</b> —
+TP {{.Tally.TP}}, FP {{.Tally.FP}}, FN {{.Tally.FN}}, UNK {{.Tally.UNK}},
+PPV {{pct .Tally.PPV}}, {{.Tally.UniqueHints}} unique geohints.</p>
+<h2>Regexes</h2>
+<table><tr><th>dictionary</th><th>regex</th></tr>
+{{range .Regexes}}<tr><td>{{.Hint}}</td><td><code>{{.String}}</code></td></tr>{{end}}
+</table>
+{{if .Learned}}<h2>Learned custom geohints</h2>
+<p>Codes this operator uses that deviate from the public dictionaries.</p>
+<table><tr><th>code</th><th>dictionary</th><th>meaning</th><th>congruent routers</th><th>collides</th></tr>
+{{range .Learned}}<tr><td><code>{{.Hint}}</code></td><td>{{.Type}}</td>
+<td>{{.Loc.String}} ({{.Loc.Pos.String}})</td><td>{{.TP}}</td>
+<td>{{if .Collide}}yes{{else}}no{{end}}</td></tr>{{end}}
+</table>{{end}}
+</body></html>
+`))
+
+// WriteIndex renders the index page.
+func (s *Site) WriteIndex(w io.Writer) error {
+	return indexTmpl.Execute(w, s)
+}
+
+// WriteSuffix renders one suffix page.
+func (s *Site) WriteSuffix(w io.Writer, nc *core.NamingConvention) error {
+	return suffixTmpl.Execute(w, nc)
+}
+
+// Generate writes the complete site into dir, creating it if needed.
+// It returns the number of pages written (index included).
+func (s *Site) Generate(dir string) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	pages := 0
+	write := func(name string, fn func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		pages++
+		return f.Close()
+	}
+	if err := write("index.html", s.WriteIndex); err != nil {
+		return pages, err
+	}
+	for _, nc := range s.NCs {
+		nc := nc
+		if err := write(PageName(nc.Suffix), func(w io.Writer) error {
+			return s.WriteSuffix(w, nc)
+		}); err != nil {
+			return pages, err
+		}
+	}
+	return pages, nil
+}

@@ -1,0 +1,113 @@
+package webgen
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hoiho/internal/core"
+	"hoiho/internal/geo"
+	"hoiho/internal/geodict"
+	"hoiho/internal/rex"
+)
+
+func sampleResult(t *testing.T) *core.Result {
+	t.Helper()
+	re, err := rex.ParsePattern(geodict.HintIATA,
+		`^.+\.([a-z]{3})\d+\.he\.net$`, []rex.Role{rex.RoleHint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := &core.NamingConvention{
+		Suffix:  "he.net",
+		Regexes: []*rex.Regex{re},
+		Class:   core.Good,
+		Tally:   core.Tally{TP: 12, FP: 1, UniqueHints: 5},
+		Learned: []*core.LearnedHint{{
+			Suffix: "he.net", Hint: "ash", Type: geodict.HintIATA,
+			Loc: &geodict.Location{City: "ashburn", Region: "va", Country: "us",
+				Pos: geo.LatLong{Lat: 39.04, Long: -77.49}},
+			TP: 4, Collide: true,
+		}},
+	}
+	poor := &core.NamingConvention{
+		Suffix: "messy.net", Class: core.Poor,
+		Regexes: []*rex.Regex{re},
+		Tally:   core.Tally{TP: 2, FP: 3, UniqueHints: 2},
+	}
+	return &core.Result{NCs: map[string]*core.NamingConvention{
+		"he.net": nc, "messy.net": poor,
+	}}
+}
+
+func TestNewSiteOrdering(t *testing.T) {
+	s := NewSite("test", sampleResult(t))
+	if len(s.NCs) != 2 {
+		t.Fatalf("NCs = %d", len(s.NCs))
+	}
+	if s.NCs[0].Suffix != "he.net" {
+		t.Errorf("good NC should sort first, got %s", s.NCs[0].Suffix)
+	}
+}
+
+func TestWriteIndex(t *testing.T) {
+	s := NewSite("Hoiho conventions", sampleResult(t))
+	var buf bytes.Buffer
+	if err := s.WriteIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	html := buf.String()
+	for _, want := range []string{
+		"Hoiho conventions", "he.net", "messy.net", "he_net.html",
+		`class="good"`, `class="poor"`, "92.3%",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+}
+
+func TestWriteSuffix(t *testing.T) {
+	s := NewSite("t", sampleResult(t))
+	var buf bytes.Buffer
+	if err := s.WriteSuffix(&buf, s.NCs[0]); err != nil {
+		t.Fatal(err)
+	}
+	html := buf.String()
+	for _, want := range []string{
+		"he.net",
+		// Regex rendered HTML-escaped inside <code>.
+		"([a-z]{3})",
+		"Learned custom geohints",
+		"ash", "Ashburn, VA, US", "yes", // collide column
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("suffix page missing %q\n%s", want, html)
+		}
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	dir := t.TempDir()
+	s := NewSite("t", sampleResult(t))
+	pages, err := s.Generate(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pages != 3 {
+		t.Errorf("pages = %d, want 3", pages)
+	}
+	for _, name := range []string{"index.html", "he_net.html", "messy_net.html"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s: %v", name, err)
+		}
+	}
+}
+
+func TestPageName(t *testing.T) {
+	if got := PageName("ccnw.net.au"); got != "ccnw_net_au.html" {
+		t.Errorf("PageName = %s", got)
+	}
+}
