@@ -22,11 +22,13 @@
 //	BenchmarkAblation_RankingPriors        facility/population prior ablation (§5.4)
 //	BenchmarkAblation_PPVThreshold         usability threshold sweep (§5.5)
 //	BenchmarkAblation_CongruenceThreshold  congruent-router threshold sweep (§5.4)
-//	BenchmarkPipeline_FullRun              end-to-end pipeline cost
+//	BenchmarkPipeline_FullRun              end-to-end pipeline cost, sequential (Workers=1)
+//	BenchmarkRunParallel                   same corpus, Workers=GOMAXPROCS worker pool
 package hoiho_bench
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -226,9 +228,29 @@ func traceOnlyWorld(w *synth.World) *synth.World {
 func BenchmarkPipeline_FullRun(b *testing.B) {
 	s := loadSuite(b)
 	in := s.Worlds[0].Inputs()
+	cfg := core.DefaultConfig()
+	cfg.Workers = 1 // sequential baseline for BenchmarkRunParallel
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Run(in, core.DefaultConfig()); err != nil {
+		if _, err := core.Run(in, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunParallel is BenchmarkPipeline_FullRun with the bounded
+// worker pool at GOMAXPROCS — compare the two to see the per-suffix
+// parallel speedup on multi-core hardware (results are identical; see
+// TestRunParallelMatchesSequential).
+func BenchmarkRunParallel(b *testing.B) {
+	s := loadSuite(b)
+	in := s.Worlds[0].Inputs()
+	cfg := core.DefaultConfig()
+	cfg.Workers = runtime.GOMAXPROCS(0)
+	b.ReportMetric(float64(cfg.Workers), "workers")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(in, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

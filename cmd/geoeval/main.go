@@ -6,6 +6,7 @@
 //	geoeval -experiment all              # everything
 //	geoeval -experiment table3           # one table
 //	geoeval -experiment fig9 -scale 0.5  # smaller worlds
+//	geoeval -experiment all -workers 8   # parallel per-suffix learning
 //
 // Experiments: table1 table2 table3 table4 table5 table6 fig5 fig9
 // fig10 fig11 ablation all.
@@ -24,7 +25,11 @@ import (
 func main() {
 	experiment := flag.String("experiment", "all", "which table/figure to regenerate")
 	scale := flag.Float64("scale", 1.0, "world size multiplier")
+	workers := flag.Int("workers", 0,
+		"suffix groups learned concurrently (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 	flag.Parse()
+	cfg := core.DefaultConfig()
+	cfg.Workers = *workers
 
 	runAll := *experiment == "all"
 	need4 := runAll
@@ -39,7 +44,7 @@ func main() {
 	var err error
 	if need4 {
 		var s *eval.Suite
-		s, err = eval.RunSuite(eval.PresetNames, *scale)
+		s, err = eval.RunSuiteConfig(eval.PresetNames, *scale, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -47,7 +52,7 @@ func main() {
 	} else {
 		var w *synth.World
 		var res *core.Result
-		w, res, err = eval.RunWorld("ipv4-aug2020", *scale)
+		w, res, err = eval.RunWorldConfig("ipv4-aug2020", *scale, cfg)
 		if err != nil {
 			fatal(err)
 		}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	hoiho -corpus data/aug2020 [-no-learn] [-suffix ntt.net] [-geolocate host]
+//	hoiho -corpus data/aug2020 [-workers n] [-no-learn] [-suffix ntt.net] [-geolocate host]
 //	hoiho -corpus data/aug2020 -write-nc conventions.txt
 //	hoiho -nc conventions.txt -geolocate host      # apply without a corpus
 //
@@ -48,6 +48,8 @@ func main() {
 	onlySuffix := flag.String("suffix", "", "report only this suffix")
 	locate := flag.String("geolocate", "", "after learning, geolocate this hostname")
 	usableOnly := flag.Bool("usable-only", false, "print only good/promising conventions")
+	workers := flag.Int("workers", 0,
+		"suffix groups learned concurrently (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 	flag.Parse()
 	if *dir == "" && *ncFile == "" {
 		fmt.Fprintln(os.Stderr, "hoiho: one of -corpus or -nc is required")
@@ -77,6 +79,7 @@ func main() {
 		haveCorpus = true
 		cfg := core.DefaultConfig()
 		cfg.LearnHints = !*noLearn
+		cfg.Workers = *workers
 		res, err = core.Run(in, cfg)
 		if err != nil {
 			fatal(err)

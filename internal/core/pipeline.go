@@ -2,83 +2,164 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
+	"hoiho/internal/itdk"
 	"hoiho/internal/rex"
 )
+
+// groupResult is the outcome of running stages 2-5 over one suffix
+// group. Workers produce these independently; the merge step folds them
+// into a Result in suffix-sorted order.
+type groupResult struct {
+	// tagged holds every parseable hostname in the group with its
+	// stage-2 apparent geohints (including hostnames with none).
+	tagged []*Tagged
+	// anyTag reports whether stage 2 tagged at least one hostname — a
+	// group without a single apparent geohint cannot yield a convention
+	// and short-circuits before candidate generation.
+	anyTag bool
+	// nc is the selected naming convention, nil when none qualified.
+	nc *NamingConvention
+	// taggedRouters lists router IDs stage 2 tagged; geolocated lists
+	// router IDs a usable NC extracted a true-positive geohint from.
+	taggedRouters []string
+	geolocated    []string
+}
+
+// runGroup executes stages 2-5 on one suffix group — the shared body of
+// Run and RunSuffix.
+func runGroup(tg *tagger, cfg Config, group *itdk.SuffixGroup) *groupResult {
+	gr := &groupResult{}
+
+	// Stage 2: tag apparent geohints.
+	for _, rh := range group.Hosts {
+		t := tg.tag(rh)
+		if t == nil {
+			continue
+		}
+		gr.tagged = append(gr.tagged, t)
+		if t.HasTags() {
+			gr.anyTag = true
+			gr.taggedRouters = append(gr.taggedRouters, rh.Router.ID)
+		}
+	}
+	if !gr.anyTag {
+		return gr
+	}
+
+	// Stage 3: build and evaluate candidate regexes; stage 4: learn
+	// operator geohints from every qualifying candidate NC; re-select
+	// with overrides in effect.
+	pool := generateCandidates(gr.tagged, cfg.MaxCandidates)
+	e := newEvalCtx(tg.in, cfg)
+	set, ev, learned := learnAndSelect(group.Suffix, pool, gr.tagged, e, cfg)
+	if set == nil {
+		return gr
+	}
+
+	// Stage 5: classify.
+	nc := &NamingConvention{
+		Suffix:  group.Suffix,
+		Regexes: set,
+		Learned: learned,
+		Tally:   ev.Tally,
+		Class:   classify(ev.Tally, cfg),
+	}
+	for _, r := range set {
+		for _, role := range r.Roles() {
+			switch role {
+			case rex.RoleState:
+				nc.AnnotatesState = true
+			case rex.RoleCountry:
+				nc.AnnotatesCountry = true
+			}
+		}
+	}
+	gr.nc = nc
+
+	if nc.Class.Usable() {
+		for hi, ho := range ev.PerHost {
+			if ho.Outcome == OutcomeTP {
+				gr.geolocated = append(gr.geolocated, gr.tagged[hi].RH.Router.ID)
+			}
+		}
+	}
+	return gr
+}
 
 // Run executes the five-stage pipeline over the assembled inputs and
 // returns the learned naming conventions for every suffix with an
 // apparent geohint.
+//
+// Suffix groups are independent (§5.2-§5.5 learn each registrable
+// domain in isolation), so stages 2-5 run concurrently across groups on
+// a pool of cfg.Workers goroutines. The merge happens in suffix-sorted
+// order, so the Result is identical for any worker count.
 func Run(in Inputs, cfg Config) (*Result, error) {
 	if in.Dict == nil || in.PSL == nil || in.Corpus == nil || in.RTT == nil {
 		return nil, fmt.Errorf("core: incomplete inputs")
 	}
-	res := &Result{NCs: make(map[string]*NamingConvention)}
-	tg := &tagger{in: in, cfg: cfg}
+	groups := in.Corpus.GroupBySuffix(in.PSL)
+	outcomes := make([]*groupResult, len(groups))
 
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers <= 1 {
+		tg := &tagger{in: in, cfg: cfg}
+		for i, group := range groups {
+			outcomes[i] = runGroup(tg, cfg, group)
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				tg := &tagger{in: in, cfg: cfg}
+				for i := range next {
+					outcomes[i] = runGroup(tg, cfg, groups[i])
+				}
+			}()
+		}
+		for i := range groups {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	// Merge per-suffix outcomes. GroupBySuffix returns groups sorted by
+	// suffix, so iterating outcomes in index order is deterministic no
+	// matter which worker computed each slot.
+	res := &Result{NCs: make(map[string]*NamingConvention)}
 	routersWithGeohint := make(map[string]bool)
 	routersGeolocated := make(map[string]bool)
-
-	for _, group := range in.Corpus.GroupBySuffix(in.PSL) {
-		// Stage 2: tag apparent geohints.
-		var tagged []*Tagged
-		anyTag := false
-		for _, rh := range group.Hosts {
-			t := tg.tag(rh)
-			if t == nil {
-				continue
-			}
-			tagged = append(tagged, t)
-			if t.HasTags() {
-				anyTag = true
-				routersWithGeohint[rh.Router.ID] = true
-			}
-		}
-		if !anyTag {
+	for _, gr := range outcomes {
+		if !gr.anyTag {
 			continue
 		}
 		res.SuffixesWithGeohint++
-
-		// Stage 3: build and evaluate candidate regexes; stage 4:
-		// learn operator geohints from every qualifying candidate NC;
-		// re-select with overrides in effect.
-		pool := generateCandidates(tagged, cfg.MaxCandidates)
-		e := newEvalCtx(in, cfg)
-		set, ev, learned := learnAndSelect(group.Suffix, pool, tagged, e, cfg)
-		if set == nil {
+		for _, id := range gr.taggedRouters {
+			routersWithGeohint[id] = true
+		}
+		if gr.nc == nil {
 			continue
 		}
-
-		// Stage 5: classify.
-		nc := &NamingConvention{
-			Suffix:  group.Suffix,
-			Regexes: set,
-			Learned: learned,
-			Tally:   ev.Tally,
-			Class:   classify(ev.Tally, cfg),
-		}
-		for _, r := range set {
-			for _, role := range r.Roles() {
-				switch role {
-				case rex.RoleState:
-					nc.AnnotatesState = true
-				case rex.RoleCountry:
-					nc.AnnotatesCountry = true
-				}
-			}
-		}
-		res.NCs[group.Suffix] = nc
-
-		if nc.Class.Usable() {
-			for hi, ho := range ev.PerHost {
-				if ho.Outcome == OutcomeTP {
-					routersGeolocated[tagged[hi].RH.Router.ID] = true
-					// A hostname a learned hint geolocates carries an
-					// apparent geohint even when stage 2's dictionary
-					// pass could not tag it.
-					routersWithGeohint[tagged[hi].RH.Router.ID] = true
-				}
-			}
+		res.NCs[gr.nc.Suffix] = gr.nc
+		for _, id := range gr.geolocated {
+			routersGeolocated[id] = true
+			// A hostname a learned hint geolocates carries an apparent
+			// geohint even when stage 2's dictionary pass could not
+			// tag it.
+			routersWithGeohint[id] = true
 		}
 	}
 	res.RoutersWithGeohint = len(routersWithGeohint)
@@ -87,7 +168,9 @@ func Run(in Inputs, cfg Config) (*Result, error) {
 }
 
 // RunSuffix runs stages 2-5 for a single suffix group already extracted
-// from a corpus — the unit the examples and unit tests exercise.
+// from a corpus — the unit the examples and unit tests exercise. It
+// shares runGroup with Run, so a suffix where stage 2 tags no hostname
+// short-circuits to a nil convention exactly as Run would skip it.
 func RunSuffix(in Inputs, cfg Config, suffix string) (*NamingConvention, []*Tagged, error) {
 	if in.Dict == nil || in.PSL == nil || in.Corpus == nil || in.RTT == nil {
 		return nil, nil, fmt.Errorf("core: incomplete inputs")
@@ -97,33 +180,8 @@ func RunSuffix(in Inputs, cfg Config, suffix string) (*NamingConvention, []*Tagg
 		if group.Suffix != suffix {
 			continue
 		}
-		var tagged []*Tagged
-		for _, rh := range group.Hosts {
-			if t := tg.tag(rh); t != nil {
-				tagged = append(tagged, t)
-			}
-		}
-		pool := generateCandidates(tagged, cfg.MaxCandidates)
-		e := newEvalCtx(in, cfg)
-		set, ev, learned := learnAndSelect(suffix, pool, tagged, e, cfg)
-		if set == nil {
-			return nil, tagged, nil
-		}
-		nc := &NamingConvention{
-			Suffix: suffix, Regexes: set, Learned: learned,
-			Tally: ev.Tally, Class: classify(ev.Tally, cfg),
-		}
-		for _, r := range set {
-			for _, role := range r.Roles() {
-				switch role {
-				case rex.RoleState:
-					nc.AnnotatesState = true
-				case rex.RoleCountry:
-					nc.AnnotatesCountry = true
-				}
-			}
-		}
-		return nc, tagged, nil
+		gr := runGroup(tg, cfg, group)
+		return gr.nc, gr.tagged, nil
 	}
 	return nil, nil, fmt.Errorf("core: suffix %q not in corpus", suffix)
 }

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"hoiho/internal/itdk"
+)
+
+// TestRunSuffixZeroTagShortCircuit is the regression test for the
+// Run/RunSuffix divergence: a suffix whose hostnames all parse but
+// carry zero apparent geohints (here, routers without RTT samples) must
+// short-circuit before candidate generation in BOTH entry points, since
+// they now share runGroup. Previously RunSuffix skipped the anyTag
+// check and fed the untagged group to the candidate generator.
+func TestRunSuffixZeroTagShortCircuit(t *testing.T) {
+	f := newFixture(t)
+	for i := 1; i <= 3; i++ {
+		r := &itdk.Router{ID: fmt.Sprintf("Z%d", i), Interfaces: []itdk.Interface{{
+			Addr:     netip.MustParseAddr(fmt.Sprintf("203.0.113.%d", i)),
+			Hostname: fmt.Sprintf("cr%d.lhr%d.notags.net", i, i),
+		}}}
+		if err := f.corpus.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	nc, tagged, err := RunSuffix(f.inputs(), DefaultConfig(), "notags.net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nc != nil {
+		t.Errorf("zero-tag suffix yielded a convention: %+v", nc)
+	}
+	if len(tagged) != 3 {
+		t.Errorf("tagged = %d hostnames, want 3 (parse results are still returned)", len(tagged))
+	}
+	for _, tg := range tagged {
+		if tg.HasTags() {
+			t.Errorf("hostname %s should carry no tags", tg.RH.Hostname)
+		}
+	}
+
+	// Run must agree suffix-for-suffix: notags.net contributes nothing.
+	res, err := Run(f.inputs(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuffixesWithGeohint != 0 || len(res.NCs) != 0 ||
+		res.RoutersWithGeohint != 0 || res.RoutersGeolocated != 0 {
+		t.Errorf("zero-tag corpus produced non-empty result: %+v", res)
+	}
+}
+
+// TestRunWorkersFixtureEquivalence checks the deterministic merge on
+// the hand-built multi-suffix fixture: any worker count must reproduce
+// the sequential Result, counters and serialized conventions alike.
+func TestRunWorkersFixtureEquivalence(t *testing.T) {
+	f := newFixture(t)
+	buildHENet(f)
+	cities := []string{"munich", "stuttgart", "dresden", "hamburg"}
+	regions := []string{"by", "bw", "sn", "hh"}
+	for i, city := range cities {
+		f.addRouter(fmt.Sprintf("M%d", i), f.place(city, regions[i], "de"),
+			fmt.Sprintf("pos-%d.%s%d.de.alter.net", i, city, i))
+	}
+
+	run := func(workers int) (*Result, string) {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		res, err := Run(f.inputs(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := WriteConventions(&b, res); err != nil {
+			t.Fatal(err)
+		}
+		return res, b.String()
+	}
+
+	base, baseText := run(1)
+	if len(base.NCs) == 0 {
+		t.Fatal("fixture learned no conventions")
+	}
+	for _, workers := range []int{0, 2, 8} {
+		res, text := run(workers)
+		if text != baseText {
+			t.Errorf("workers=%d conventions differ from sequential:\n%s\nvs\n%s",
+				workers, text, baseText)
+		}
+		if res.SuffixesWithGeohint != base.SuffixesWithGeohint ||
+			res.RoutersWithGeohint != base.RoutersWithGeohint ||
+			res.RoutersGeolocated != base.RoutersGeolocated {
+			t.Errorf("workers=%d counters = (%d, %d, %d), want (%d, %d, %d)", workers,
+				res.SuffixesWithGeohint, res.RoutersWithGeohint, res.RoutersGeolocated,
+				base.SuffixesWithGeohint, base.RoutersWithGeohint, base.RoutersGeolocated)
+		}
+	}
+}

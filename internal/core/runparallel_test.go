@@ -1,0 +1,154 @@
+// Package core_test holds the parallel-pipeline tests that need the
+// synthetic-world generator; synth imports core, so they cannot live in
+// the internal test package.
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"hoiho/internal/core"
+	"hoiho/internal/synth"
+)
+
+var (
+	worldOnce sync.Once
+	world     *synth.World
+	worldErr  error
+)
+
+// testWorld generates the seeded ipv6-nov2020 preset once per process —
+// a multi-operator corpus with every convention style, custom hints,
+// noise, and spoofing VPs cleaned.
+func testWorld(t *testing.T) *synth.World {
+	t.Helper()
+	worldOnce.Do(func() {
+		p, err := synth.ITDKPreset("ipv6-nov2020")
+		if err != nil {
+			worldErr = err
+			return
+		}
+		w, err := synth.Generate(p)
+		if err != nil {
+			worldErr = err
+			return
+		}
+		w.CleanSpoofers()
+		world = w
+	})
+	if worldErr != nil {
+		t.Fatal(worldErr)
+	}
+	return world
+}
+
+func serializeResult(t *testing.T, res *core.Result) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := core.WriteConventions(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestRunParallelMatchesSequential is the tentpole's acceptance test:
+// on a seeded synthetic corpus, core.Run with workers ∈ {2, 8} must
+// produce a Result byte-identical (in serialized form) to the
+// sequential run, with equal coverage counters.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	w := testWorld(t)
+
+	run := func(workers int) (*core.Result, string) {
+		cfg := core.DefaultConfig()
+		cfg.Workers = workers
+		res, err := core.Run(w.Inputs(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, serializeResult(t, res)
+	}
+
+	base, baseText := run(1)
+	if len(base.NCs) == 0 {
+		t.Fatal("seeded world learned no conventions")
+	}
+	for _, workers := range []int{2, 8} {
+		res, text := run(workers)
+		if text != baseText {
+			t.Errorf("workers=%d serialized conventions differ from sequential run", workers)
+		}
+		if len(res.NCs) != len(base.NCs) {
+			t.Errorf("workers=%d learned %d NCs, sequential %d", workers, len(res.NCs), len(base.NCs))
+		}
+		if res.SuffixesWithGeohint != base.SuffixesWithGeohint ||
+			res.RoutersWithGeohint != base.RoutersWithGeohint ||
+			res.RoutersGeolocated != base.RoutersGeolocated {
+			t.Errorf("workers=%d counters = (%d, %d, %d), want (%d, %d, %d)", workers,
+				res.SuffixesWithGeohint, res.RoutersWithGeohint, res.RoutersGeolocated,
+				base.SuffixesWithGeohint, base.RoutersWithGeohint, base.RoutersGeolocated)
+		}
+	}
+}
+
+// TestGeolocateParallelSharedNC stresses concurrent Geolocate calls on
+// one shared naming convention whose regex caches start cold — the
+// published-conventions scenario: a Result read from a conventions file
+// is served to many concurrent callers. Run with -race to exercise the
+// rex cache guards.
+func TestGeolocateParallelSharedNC(t *testing.T) {
+	w := testWorld(t)
+	res, err := core.Run(w.Inputs(), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round-trip through the published format so every regex cache is
+	// cold when the concurrent callers arrive.
+	fresh, err := core.ReadConventions(strings.NewReader(serializeResult(t, res)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pick a usable convention with hostnames in the corpus.
+	var nc *core.NamingConvention
+	var hosts []string
+	for _, cand := range fresh.UsableNCs() {
+		hosts = hosts[:0]
+		for h, suffix := range w.HintHostnames {
+			if suffix == cand.Suffix {
+				hosts = append(hosts, h)
+			}
+		}
+		if len(hosts) >= 2 {
+			nc = cand
+			break
+		}
+	}
+	if nc == nil {
+		t.Fatal("no usable NC with hostnames found")
+	}
+
+	for g := 0; g < 8; g++ {
+		g := g
+		t.Run(fmt.Sprintf("caller%d", g), func(t *testing.T) {
+			t.Parallel()
+			matched := 0
+			for i := 0; i < 50; i++ {
+				for _, h := range hosts {
+					if loc, ok := core.Geolocate(nc, w.Dict, h); ok {
+						matched++
+						if loc.Loc == nil {
+							t.Fatalf("geolocate %s returned nil location", h)
+						}
+					}
+				}
+			}
+			if matched == 0 {
+				t.Errorf("caller %d: no hostname of %s geolocated", g, nc.Suffix)
+			}
+		})
+	}
+}

@@ -66,6 +66,13 @@ type Config struct {
 	// deduplication, keeping runtime bounded on adversarial corpora.
 	MaxCandidates int
 
+	// Workers bounds how many suffix groups Run learns concurrently.
+	// 0 (the default) uses runtime.GOMAXPROCS(0); 1 reproduces the
+	// sequential pipeline. Per-suffix learning is independent and the
+	// merge is suffix-ordered, so the Result is identical for any
+	// worker count.
+	Workers int
+
 	// LearnHints enables stage 4 (disabled for the §6.1 ablation).
 	LearnHints bool
 

@@ -446,12 +446,13 @@ func ComputeTable5Multi(results []*core.Result, dict *geodict.Dictionary, minSuf
 	return ComputeTable5(merged, dict, minSuffixes)
 }
 
-// ComputeFig10Multi pools learned-hint properties across worlds.
+// ComputeFig10Multi pools learned-hint properties across worlds. The
+// NCs map iteration order does not matter here: makeCDF sorts its
+// samples, so the pooled CDFs are order-insensitive (the same holds for
+// ComputeFig10, ComputeFig11, and the bucket counting below).
 func ComputeFig10Multi(worlds []*synth.World, results []*core.Result) Fig10 {
 	var rtts, kms []float64
 	for i, w := range worlds {
-		f := ComputeFig10(w, results[i])
-		_ = f
 		for _, nc := range results[i].NCs {
 			for _, lh := range nc.Learned {
 				rtts = append(rtts, closestVPRTTms(w, lh.Loc.Pos))

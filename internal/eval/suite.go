@@ -17,8 +17,17 @@ type Suite struct {
 }
 
 // RunSuite generates each named world (scaled by scale, 1.0 = preset
-// size), cleans spoofing VPs, and runs the pipeline.
+// size), cleans spoofing VPs, and runs the pipeline with the default
+// configuration.
 func RunSuite(names []string, scale float64) (*Suite, error) {
+	return RunSuiteConfig(names, scale, core.DefaultConfig())
+}
+
+// RunSuiteConfig is RunSuite with an explicit pipeline configuration —
+// the hook through which cmd/geoeval's -workers flag (and any threshold
+// override) reaches core.Run. World generation is unaffected by cfg, so
+// results differ from RunSuite only as the configuration dictates.
+func RunSuiteConfig(names []string, scale float64, cfg core.Config) (*Suite, error) {
 	if scale <= 0 {
 		scale = 1
 	}
@@ -39,7 +48,7 @@ func RunSuite(names []string, scale float64) (*Suite, error) {
 			return nil, err
 		}
 		w.CleanSpoofers()
-		res, err := core.Run(w.Inputs(), core.DefaultConfig())
+		res, err := core.Run(w.Inputs(), cfg)
 		if err != nil {
 			return nil, fmt.Errorf("eval: pipeline on %s: %w", name, err)
 		}
@@ -51,7 +60,13 @@ func RunSuite(names []string, scale float64) (*Suite, error) {
 
 // RunWorld generates and evaluates one preset world.
 func RunWorld(name string, scale float64) (*synth.World, *core.Result, error) {
-	s, err := RunSuite([]string{name}, scale)
+	return RunWorldConfig(name, scale, core.DefaultConfig())
+}
+
+// RunWorldConfig generates and evaluates one preset world with an
+// explicit pipeline configuration.
+func RunWorldConfig(name string, scale float64, cfg core.Config) (*synth.World, *core.Result, error) {
+	s, err := RunSuiteConfig([]string{name}, scale, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

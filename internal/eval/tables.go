@@ -252,8 +252,16 @@ func ComputeTable5(res *core.Result, dict *geodict.Dictionary, minSuffixes int) 
 		loc   *geodict.Location
 	}
 	m := make(map[string]*agg)
-	for _, nc := range res.NCs {
-		for _, lh := range nc.Learned {
+	// Iterate suffixes in sorted order: when two suffixes learn the same
+	// hint with different locations, the reported location is the
+	// first-seen one, which must not depend on map iteration order.
+	suffixes := make([]string, 0, len(res.NCs))
+	for suffix := range res.NCs {
+		suffixes = append(suffixes, suffix)
+	}
+	sort.Strings(suffixes)
+	for _, suffix := range suffixes {
+		for _, lh := range res.NCs[suffix].Learned {
 			if lh.Type != geodict.HintIATA || len(lh.Hint) != 3 {
 				continue
 			}

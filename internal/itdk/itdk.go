@@ -43,13 +43,24 @@ type Router struct {
 }
 
 // Hostnames returns the router's distinct non-empty hostnames, in
-// interface order.
+// interface order. Routers have a handful of interfaces, so duplicates
+// are eliminated with a linear scan rather than a per-call map — this
+// runs once per router on every GroupBySuffix, the pipeline's grouping
+// hot path.
 func (r *Router) Hostnames() []string {
 	var out []string
-	seen := make(map[string]bool)
 	for _, ifc := range r.Interfaces {
-		if ifc.Hostname != "" && !seen[ifc.Hostname] {
-			seen[ifc.Hostname] = true
+		if ifc.Hostname == "" {
+			continue
+		}
+		dup := false
+		for _, h := range out {
+			if h == ifc.Hostname {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, ifc.Hostname)
 		}
 	}
@@ -145,6 +156,9 @@ type SuffixGroup struct {
 // GroupBySuffix partitions the corpus's hostnames by registrable domain
 // suffix using the public suffix list, returning groups sorted by suffix.
 // Hostnames equal to their suffix (no prefix to learn from) are skipped.
+// The sorted order and the deterministic (corpus-order) Hosts slices are
+// a contract: core.Run's parallel workers merge per-group results by
+// group index, which is only reproducible because this ordering is.
 func (c *Corpus) GroupBySuffix(list *psl.List) []*SuffixGroup {
 	groups := make(map[string]*SuffixGroup)
 	for _, r := range c.Routers {

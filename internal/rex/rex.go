@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"regexp"
 	"strings"
+	"sync"
 
 	"hoiho/internal/geodict"
 )
@@ -119,13 +120,25 @@ func (c Component) equal(o Component) bool { return c == o }
 // Regex is a candidate geohint-extraction regex: an anchored sequence of
 // components ending in the suffix literal, plus the plan for decoding
 // the captures.
+//
+// The render/compile caches are guarded by sync.Once, so a shared
+// *Regex — e.g. one inside a published NamingConvention applied by
+// concurrent Geolocate callers, or candidates evaluated by the parallel
+// pipeline — is safe for concurrent use. Comps must not be mutated
+// after the first String, Compile, Match, or ComponentMatches call;
+// Clone returns a mutable copy with cold caches.
 type Regex struct {
 	Comps []Component
 	Hint  geodict.HintType // dictionary that interprets the RoleHint capture
 
-	compiled  *regexp.Regexp
-	probe     *regexp.Regexp // every component captured, for specialization
-	rendering string
+	renderOnce  sync.Once
+	rendering   string
+	compileOnce sync.Once
+	compiled    *regexp.Regexp
+	compileErr  error
+	probeOnce   sync.Once
+	probe       *regexp.Regexp // every component captured, for specialization
+	probeErr    error
 }
 
 // New assembles a regex from components. The component list should
@@ -204,7 +217,7 @@ func containsRole(roles []Role, want Role) bool {
 // String renders the full anchored regex (paper notation, e.g.
 // `^.+\.([a-z]{3})\d+\.alter\.net$`).
 func (r *Regex) String() string {
-	if r.rendering == "" {
+	r.renderOnce.Do(func() {
 		var b strings.Builder
 		b.WriteByte('^')
 		for _, c := range r.Comps {
@@ -212,20 +225,21 @@ func (r *Regex) String() string {
 		}
 		b.WriteByte('$')
 		r.rendering = b.String()
-	}
+	})
 	return r.rendering
 }
 
 // Compile returns the compiled regex, caching the result.
 func (r *Regex) Compile() (*regexp.Regexp, error) {
-	if r.compiled == nil {
+	r.compileOnce.Do(func() {
 		re, err := regexp.Compile(r.String())
 		if err != nil {
-			return nil, fmt.Errorf("rex: compile %q: %w", r.String(), err)
+			r.compileErr = fmt.Errorf("rex: compile %q: %w", r.String(), err)
+			return
 		}
 		r.compiled = re
-	}
-	return r.compiled, nil
+	})
+	return r.compiled, r.compileErr
 }
 
 // Extraction is the decoded result of matching a hostname.
@@ -277,7 +291,7 @@ func (r *Regex) Match(hostname string) (Extraction, bool) {
 // probeRegexp renders a variant where every component is captured, used
 // to recover which substring each component matched (phase 3).
 func (r *Regex) probeRegexp() (*regexp.Regexp, error) {
-	if r.probe == nil {
+	r.probeOnce.Do(func() {
 		var b strings.Builder
 		b.WriteByte('^')
 		for _, c := range r.Comps {
@@ -290,11 +304,12 @@ func (r *Regex) probeRegexp() (*regexp.Regexp, error) {
 		b.WriteByte('$')
 		re, err := regexp.Compile(b.String())
 		if err != nil {
-			return nil, fmt.Errorf("rex: compile probe %q: %w", b.String(), err)
+			r.probeErr = fmt.Errorf("rex: compile probe %q: %w", b.String(), err)
+			return
 		}
 		r.probe = re
-	}
-	return r.probe, nil
+	})
+	return r.probe, r.probeErr
 }
 
 // ComponentMatches returns the substring each component matched against

@@ -28,13 +28,21 @@ type Site struct {
 }
 
 // NewSite builds a Site from a pipeline result, ordered by
-// classification (good first), then by true positives.
+// classification (good first), then by true positives, then by suffix.
+// The suffixes are collected in sorted order before ranking so the
+// rendered site is byte-identical across runs regardless of NCs map
+// iteration order.
 func NewSite(title string, res *core.Result) *Site {
 	s := &Site{Title: title}
-	for _, nc := range res.NCs {
-		s.NCs = append(s.NCs, nc)
+	suffixes := make([]string, 0, len(res.NCs))
+	for suffix := range res.NCs {
+		suffixes = append(suffixes, suffix)
 	}
-	sort.Slice(s.NCs, func(i, j int) bool {
+	sort.Strings(suffixes)
+	for _, suffix := range suffixes {
+		s.NCs = append(s.NCs, res.NCs[suffix])
+	}
+	sort.SliceStable(s.NCs, func(i, j int) bool {
 		a, b := s.NCs[i], s.NCs[j]
 		if a.Class != b.Class {
 			return a.Class > b.Class
