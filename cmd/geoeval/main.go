@@ -44,7 +44,7 @@ func main() {
 	var err error
 	if need4 {
 		var s *eval.Suite
-		s, err = eval.RunSuiteConfig(eval.PresetNames, *scale, cfg)
+		s, err = eval.Run(eval.PresetNames, *scale, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -52,7 +52,7 @@ func main() {
 	} else {
 		var w *synth.World
 		var res *core.Result
-		w, res, err = eval.RunWorldConfig("ipv4-aug2020", *scale, cfg)
+		w, res, err = eval.RunOne("ipv4-aug2020", *scale, cfg)
 		if err != nil {
 			fatal(err)
 		}

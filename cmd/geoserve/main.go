@@ -1,0 +1,111 @@
+// Command geoserve serves learned naming conventions over HTTP — the
+// production shape of the paper's published-conventions workflow, where
+// operators apply regexes at measurement scale rather than one hostname
+// per process. Conventions are compiled once into an immutable
+// geoloc.Index (regexes precompiled, learned geohints pre-resolved,
+// results LRU-cached) and served concurrently.
+//
+// Usage:
+//
+//	geoserve -nc conventions.txt [-addr :8099]
+//	geoserve -corpus data/aug2020 [-workers n] [-no-learn]
+//
+// Endpoints:
+//
+//	POST /v1/geolocate   {"hostname": "..."} or {"hostnames": [...]}
+//	GET  /healthz        liveness and index size
+//	GET  /metrics        expvar counters: requests, cache hits/misses,
+//	                     matches by suffix and class, latency histogram
+//
+// The process drains in-flight requests and exits cleanly on SIGINT or
+// SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hoiho/internal/core"
+	"hoiho/internal/geoloc"
+)
+
+func main() {
+	addr := flag.String("addr", ":8099", "listen address")
+	ncFile := flag.String("nc", "", "published conventions file to serve")
+	dir := flag.String("corpus", "", "learn conventions from this corpus directory instead")
+	noLearn := flag.Bool("no-learn", false, "disable stage-4 custom geohint learning (with -corpus)")
+	workers := flag.Int("workers", 0, "suffix groups learned concurrently (with -corpus)")
+	cacheSize := flag.Int("cache", geoloc.DefaultCacheSize,
+		"LRU result-cache entries (negative disables)")
+	usableOnly := flag.Bool("usable-only", false, "serve only good/promising conventions")
+	flag.Parse()
+	if *ncFile == "" && *dir == "" {
+		fmt.Fprintln(os.Stderr, "geoserve: one of -nc or -corpus is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.LearnHints = !*noLearn
+	cfg.Workers = *workers
+	res, err := geoloc.LoadResult(*ncFile, *dir, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	ix, err := geoloc.New(res, geoloc.Options{UsableOnly: *usableOnly, CacheSize: *cacheSize})
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("geoserve: serving %d conventions (%d learned)", ix.Len(), len(res.NCs))
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("geoserve: listening on %s", ln.Addr())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := serve(ctx, ln, newServer(ix)); err != nil {
+		fatal(err)
+	}
+	log.Print("geoserve: shut down cleanly")
+}
+
+// serve runs an HTTP server on ln until ctx is cancelled, then shuts
+// down gracefully: the listener closes, in-flight requests get up to
+// drainTimeout to complete, and nil is returned on a clean drain.
+func serve(ctx context.Context, ln net.Listener, h http.Handler) error {
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("geoserve: shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+const drainTimeout = 10 * time.Second
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "geoserve:", err)
+	os.Exit(1)
+}

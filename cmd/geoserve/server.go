@@ -1,0 +1,192 @@
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"time"
+
+	"hoiho/internal/core"
+	"hoiho/internal/geoloc"
+)
+
+// maxBatch bounds one POST /v1/geolocate request; larger workloads
+// paginate. The bound keeps a single request from pinning the server on
+// one client's megabatch.
+const maxBatch = 10000
+
+// server is the geoserve HTTP API over a compiled lookup index. Request
+// counters live in expvar maps (unpublished, so tests can build many
+// servers); the /metrics handler merges them with the index's own
+// counters.
+type server struct {
+	ix      *geoloc.Index
+	mux     *http.ServeMux
+	vars    *expvar.Map // requests, bad_requests, hostnames by endpoint
+	latency *expvar.Map // /v1/geolocate latency histogram buckets
+	start   time.Time
+}
+
+func newServer(ix *geoloc.Index) *server {
+	s := &server{
+		ix:      ix,
+		mux:     http.NewServeMux(),
+		vars:    new(expvar.Map).Init(),
+		latency: new(expvar.Map).Init(),
+		start:   time.Now(),
+	}
+	// Pre-register the histogram so /metrics always shows every bucket.
+	for _, b := range latencyBuckets {
+		s.latency.Add(b.name, 0)
+	}
+	s.latency.Add(bucketInf, 0)
+	s.mux.HandleFunc("POST /v1/geolocate", s.handleGeolocate)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.vars.Add("requests", 1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// lookupRequest is the /v1/geolocate body: exactly one of hostname
+// (single) or hostnames (batch).
+type lookupRequest struct {
+	Hostname  string   `json:"hostname,omitempty"`
+	Hostnames []string `json:"hostnames,omitempty"`
+}
+
+// lookupResult is the JSON shape of one geolocated hostname.
+type lookupResult struct {
+	Hostname string        `json:"hostname"`
+	Located  bool          `json:"located"`
+	Suffix   string        `json:"suffix,omitempty"`
+	Hint     string        `json:"hint,omitempty"`
+	Type     string        `json:"type,omitempty"`
+	Learned  bool          `json:"learned,omitempty"`
+	Location *locationJSON `json:"location,omitempty"`
+}
+
+type locationJSON struct {
+	City    string  `json:"city"`
+	Region  string  `json:"region,omitempty"`
+	Country string  `json:"country"`
+	Lat     float64 `json:"lat"`
+	Long    float64 `json:"long"`
+}
+
+type batchResponse struct {
+	Results []lookupResult `json:"results"`
+}
+
+func toResult(hostname string, g *core.Geolocation) lookupResult {
+	if g == nil {
+		return lookupResult{Hostname: hostname}
+	}
+	return lookupResult{
+		Hostname: hostname,
+		Located:  true,
+		Suffix:   g.Suffix,
+		Hint:     g.Hint,
+		Type:     g.Type.String(),
+		Learned:  g.Learned,
+		Location: &locationJSON{
+			City: g.Loc.City, Region: g.Loc.Region, Country: g.Loc.Country,
+			Lat: g.Loc.Pos.Lat, Long: g.Loc.Pos.Long,
+		},
+	}
+}
+
+func (s *server) handleGeolocate(w http.ResponseWriter, r *http.Request) {
+	defer s.observeLatency(time.Now())
+	var req lookupRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.badRequest(w, fmt.Sprintf("malformed request: %v", err))
+		return
+	}
+	single := req.Hostname != ""
+	batch := len(req.Hostnames) > 0
+	switch {
+	case single == batch:
+		s.badRequest(w, `exactly one of "hostname" and "hostnames" is required`)
+	case batch && len(req.Hostnames) > maxBatch:
+		s.badRequest(w, fmt.Sprintf("batch exceeds %d hostnames", maxBatch))
+	case single:
+		s.vars.Add("hostnames", 1)
+		g, _ := s.ix.Lookup(req.Hostname)
+		writeJSON(w, http.StatusOK, toResult(req.Hostname, g))
+	default:
+		s.vars.Add("hostnames", int64(len(req.Hostnames)))
+		resp := batchResponse{Results: make([]lookupResult, len(req.Hostnames))}
+		for i, g := range s.ix.LookupBatch(req.Hostnames) {
+			resp.Results[i] = toResult(req.Hostnames[i], g)
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"suffixes": s.ix.Len(),
+		"uptime_s": int64(time.Since(s.start).Seconds()),
+	})
+}
+
+// handleMetrics emits one JSON document: the server's expvar counters,
+// the /v1/geolocate latency histogram, and the index's lookup counters.
+// expvar.Map.String() is already JSON, so the three parts are spliced.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	index, err := json.Marshal(s.ix.Stats())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"server":%s,"latency_us":%s,"index":%s}`+"\n",
+		s.vars.String(), s.latency.String(), index)
+}
+
+// latencyBuckets are the upper bounds of the /v1/geolocate latency
+// histogram, in microseconds; requests above the last bound land in
+// bucketInf.
+var latencyBuckets = []struct {
+	name string
+	le   time.Duration
+}{
+	{"le_100", 100 * time.Microsecond},
+	{"le_1000", time.Millisecond},
+	{"le_10000", 10 * time.Millisecond},
+	{"le_100000", 100 * time.Millisecond},
+}
+
+const bucketInf = "inf"
+
+func (s *server) observeLatency(start time.Time) {
+	d := time.Since(start)
+	for _, b := range latencyBuckets {
+		if d <= b.le {
+			s.latency.Add(b.name, 1)
+			return
+		}
+	}
+	s.latency.Add(bucketInf, 1)
+}
+
+func (s *server) badRequest(w http.ResponseWriter, msg string) {
+	s.vars.Add("bad_requests", 1)
+	writeJSON(w, http.StatusBadRequest, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}

@@ -14,14 +14,14 @@
 // rtt.matrix (corpus.geo is optional and ignored by learning). A
 // conventions file written with -write-nc can later be applied with
 // -nc, without any measurement data — the paper's published-regexes
-// workflow.
+// workflow. Loading and application go through internal/geoloc, the
+// same compiled-index path the geoserve daemon serves from.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
-	"io"
 	"net/netip"
 	"os"
 	"path/filepath"
@@ -31,11 +31,8 @@ import (
 
 	"hoiho/internal/asn"
 	"hoiho/internal/core"
-	"hoiho/internal/geodict"
-	"hoiho/internal/itdk"
+	"hoiho/internal/geoloc"
 	"hoiho/internal/names"
-	"hoiho/internal/psl"
-	"hoiho/internal/rtt"
 )
 
 func main() {
@@ -61,18 +58,14 @@ func main() {
 	var in core.Inputs
 	haveCorpus := false
 	if *ncFile != "" {
-		f, err := os.Open(*ncFile)
-		if err != nil {
-			fatal(err)
-		}
-		res, err = core.ReadConventions(f)
-		f.Close()
+		var err error
+		res, err = geoloc.LoadConventions(*ncFile)
 		if err != nil {
 			fatal(err)
 		}
 	} else {
 		var err error
-		in, err = loadInputs(*dir)
+		in, err = geoloc.LoadInputs(*dir)
 		if err != nil {
 			fatal(err)
 		}
@@ -154,14 +147,15 @@ func main() {
 	}
 
 	if *locate != "" {
-		dict := geodict.MustDefault()
-		list := psl.MustDefault()
-		suffix := list.RegistrableDomain(*locate)
-		nc := res.NCs[suffix]
-		if nc == nil {
+		ix, err := geoloc.New(res, geoloc.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		suffix := ix.Suffix(*locate)
+		if ix.Convention(suffix) == nil {
 			fatal(fmt.Errorf("no convention learned for suffix %q", suffix))
 		}
-		g, ok := core.Geolocate(nc, dict, *locate)
+		g, ok := ix.Lookup(*locate)
 		if !ok {
 			fatal(fmt.Errorf("no regex in %s matches %q", suffix, *locate))
 		}
@@ -202,56 +196,6 @@ func loadASNMap(path string) (asn.AddrMap, error) {
 		m[addr] = uint32(n)
 	}
 	return m, sc.Err()
-}
-
-func loadInputs(dir string) (core.Inputs, error) {
-	var in core.Inputs
-	dict, err := geodict.Default()
-	if err != nil {
-		return in, err
-	}
-	list, err := psl.Default()
-	if err != nil {
-		return in, err
-	}
-
-	corpus, err := readCorpus(dir)
-	if err != nil {
-		return in, err
-	}
-	mf, err := os.Open(filepath.Join(dir, "rtt.matrix"))
-	if err != nil {
-		return in, err
-	}
-	defer mf.Close()
-	matrix, err := rtt.ReadMatrix(mf)
-	if err != nil {
-		return in, err
-	}
-	return core.Inputs{Dict: dict, PSL: list, Corpus: corpus, RTT: matrix}, nil
-}
-
-// readCorpus concatenates the nodes and names files (geo is optional).
-func readCorpus(dir string) (*itdk.Corpus, error) {
-	var readers []io.Reader
-	var closers []io.Closer
-	defer func() {
-		for _, c := range closers {
-			c.Close()
-		}
-	}()
-	for _, name := range []string{"corpus.nodes", "corpus.names", "corpus.geo"} {
-		f, err := os.Open(filepath.Join(dir, name))
-		if err != nil {
-			if name == "corpus.geo" && os.IsNotExist(err) {
-				continue
-			}
-			return nil, err
-		}
-		closers = append(closers, f)
-		readers = append(readers, f)
-	}
-	return itdk.ReadCorpus(io.MultiReader(readers...), filepath.Base(dir), false)
 }
 
 func fatal(err error) {

@@ -19,11 +19,10 @@ type Geolocation struct {
 }
 
 // Geolocate applies a naming convention to a hostname: the first
-// matching regex extracts a geohint, which is resolved first through the
-// convention's learned geohints and then through the reference
-// dictionary, disambiguating multiple interpretations by facility
-// presence and population (the paper's ranking for learned hints, which
-// Lakhina et al.'s population-density observation motivates).
+// matching regex extracts a geohint, which ResolveExtraction interprets.
+// It is a thin wrapper kept for one-off application; services applying
+// conventions at volume should compile them into a geoloc.Index, which
+// shares the exported resolution helpers below.
 func Geolocate(nc *NamingConvention, dict *geodict.Dictionary, host string) (*Geolocation, bool) {
 	if nc == nil {
 		return nil, false
@@ -33,30 +32,41 @@ func Geolocate(nc *NamingConvention, dict *geodict.Dictionary, host string) (*Ge
 		if !ok {
 			continue
 		}
-		g := &Geolocation{
-			Hostname: host, Suffix: nc.Suffix, Hint: ext.Hint, Type: ext.Type,
-		}
-		// Learned geohints take precedence over the dictionary.
-		for _, lh := range nc.Learned {
-			if lh.Type == ext.Type && lh.Hint == ext.Hint {
-				g.Loc = lh.Loc
-				g.Learned = true
-				return g, true
-			}
-		}
-		locs := dictionaryLocations(dict, ext)
-		if len(locs) == 0 {
+		loc, learned, ok := ResolveExtraction(nc, dict, ext)
+		if !ok {
 			return nil, false
 		}
-		g.Loc = pickLocation(dict, locs)
-		return g, true
+		return &Geolocation{
+			Hostname: host, Suffix: nc.Suffix, Hint: ext.Hint, Type: ext.Type,
+			Loc: loc, Learned: learned,
+		}, true
 	}
 	return nil, false
 }
 
-// dictionaryLocations resolves an extraction against the reference
+// ResolveExtraction interprets a regex extraction: first through the
+// convention's learned geohints and then through the reference
+// dictionary, disambiguating multiple interpretations by facility
+// presence and population (the paper's ranking for learned hints, which
+// Lakhina et al.'s population-density observation motivates). ok is
+// false when the extracted string resolves to no location.
+func ResolveExtraction(nc *NamingConvention, dict *geodict.Dictionary, ext rex.Extraction) (loc *geodict.Location, learned, ok bool) {
+	// Learned geohints take precedence over the dictionary.
+	for _, lh := range nc.Learned {
+		if lh.Type == ext.Type && lh.Hint == ext.Hint {
+			return lh.Loc, true, true
+		}
+	}
+	locs := DictionaryLocations(dict, ext)
+	if len(locs) == 0 {
+		return nil, false, false
+	}
+	return PickLocation(dict, locs), false, true
+}
+
+// DictionaryLocations resolves an extraction against the reference
 // dictionary, filtered by any annotation codes.
-func dictionaryLocations(d *geodict.Dictionary, ext rex.Extraction) []*geodict.Location {
+func DictionaryLocations(d *geodict.Dictionary, ext rex.Extraction) []*geodict.Location {
 	var locs []*geodict.Location
 	switch ext.Type {
 	case geodict.HintIATA:
@@ -100,9 +110,9 @@ func dictionaryLocations(d *geodict.Dictionary, ext rex.Extraction) []*geodict.L
 	return out
 }
 
-// pickLocation disambiguates multiple interpretations: facility presence
+// PickLocation disambiguates multiple interpretations: facility presence
 // first, then population, then a stable key order.
-func pickLocation(d *geodict.Dictionary, locs []*geodict.Location) *geodict.Location {
+func PickLocation(d *geodict.Dictionary, locs []*geodict.Location) *geodict.Location {
 	if len(locs) == 1 {
 		return locs[0]
 	}

@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"hoiho/internal/geodict"
 	"hoiho/internal/itdk"
@@ -260,7 +261,9 @@ type Result struct {
 	RoutersGeolocated int
 }
 
-// UsableNCs returns the good and promising conventions.
+// UsableNCs returns the good and promising conventions, sorted by
+// suffix so output derived from it is deterministic (the guarantee
+// webgen and eval already provide for their own map walks).
 func (r *Result) UsableNCs() []*NamingConvention {
 	var out []*NamingConvention
 	for _, nc := range r.NCs {
@@ -268,5 +271,6 @@ func (r *Result) UsableNCs() []*NamingConvention {
 			out = append(out, nc)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Suffix < out[j].Suffix })
 	return out
 }

@@ -16,18 +16,12 @@ type Suite struct {
 	Results []*core.Result
 }
 
-// RunSuite generates each named world (scaled by scale, 1.0 = preset
-// size), cleans spoofing VPs, and runs the pipeline with the default
-// configuration.
-func RunSuite(names []string, scale float64) (*Suite, error) {
-	return RunSuiteConfig(names, scale, core.DefaultConfig())
-}
-
-// RunSuiteConfig is RunSuite with an explicit pipeline configuration —
-// the hook through which cmd/geoeval's -workers flag (and any threshold
-// override) reaches core.Run. World generation is unaffected by cfg, so
-// results differ from RunSuite only as the configuration dictates.
-func RunSuiteConfig(names []string, scale float64, cfg core.Config) (*Suite, error) {
+// Run generates each named world (scaled by scale, 1.0 = preset size),
+// cleans spoofing VPs, and runs the pipeline with cfg. World generation
+// is unaffected by cfg, so results differ across configurations only as
+// the pipeline thresholds dictate. Callers without threshold overrides
+// pass core.DefaultConfig().
+func Run(names []string, scale float64, cfg core.Config) (*Suite, error) {
 	if scale <= 0 {
 		scale = 1
 	}
@@ -58,19 +52,44 @@ func RunSuiteConfig(names []string, scale float64, cfg core.Config) (*Suite, err
 	return s, nil
 }
 
-// RunWorld generates and evaluates one preset world.
-func RunWorld(name string, scale float64) (*synth.World, *core.Result, error) {
-	return RunWorldConfig(name, scale, core.DefaultConfig())
-}
-
-// RunWorldConfig generates and evaluates one preset world with an
-// explicit pipeline configuration.
-func RunWorldConfig(name string, scale float64, cfg core.Config) (*synth.World, *core.Result, error) {
-	s, err := RunSuiteConfig([]string{name}, scale, cfg)
+// RunOne generates and evaluates one preset world with cfg.
+func RunOne(name string, scale float64, cfg core.Config) (*synth.World, *core.Result, error) {
+	s, err := Run([]string{name}, scale, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
 	return s.Worlds[0], s.Results[0], nil
+}
+
+// RunSuite runs the suite with the default configuration.
+//
+// Deprecated: use Run, which takes the configuration explicitly.
+func RunSuite(names []string, scale float64) (*Suite, error) {
+	return Run(names, scale, core.DefaultConfig())
+}
+
+// RunSuiteConfig runs the suite with an explicit configuration.
+//
+// Deprecated: use Run; this is a renamed alias kept for callers of the
+// pre-serving-layer API.
+func RunSuiteConfig(names []string, scale float64, cfg core.Config) (*Suite, error) {
+	return Run(names, scale, cfg)
+}
+
+// RunWorld evaluates one preset world with the default configuration.
+//
+// Deprecated: use RunOne, which takes the configuration explicitly.
+func RunWorld(name string, scale float64) (*synth.World, *core.Result, error) {
+	return RunOne(name, scale, core.DefaultConfig())
+}
+
+// RunWorldConfig evaluates one preset world with an explicit
+// configuration.
+//
+// Deprecated: use RunOne; this is a renamed alias kept for callers of
+// the pre-serving-layer API.
+func RunWorldConfig(name string, scale float64, cfg core.Config) (*synth.World, *core.Result, error) {
+	return RunOne(name, scale, cfg)
 }
 
 // RunWorldNoLearn re-runs the pipeline on an existing world with stage-4

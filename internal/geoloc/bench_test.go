@@ -1,0 +1,133 @@
+package geoloc
+
+import (
+	"testing"
+
+	"hoiho/internal/core"
+	"hoiho/internal/rex"
+)
+
+// benchHosts mix repeated, unseen-but-matching, and non-matching
+// hostnames — the shape of measurement traffic.
+var benchHosts = []string{
+	"100ge1-1.core1.sjc1.he.net",
+	"te0-0-0.core7.lhr1.he.net",
+	"gcr-company.ve42.core9.ash1.he.net",
+	"pos-0.munich0.de.alter.net",
+	"totally-unconventional.he.net",
+	"core1.sjc1.example-no-convention.com",
+}
+
+// BenchmarkIndexLookup is the serving hot path: compiled index, warm
+// cache. Zero regex compilations happen per request — every pattern was
+// compiled in New — so the steady state is a cache probe.
+func BenchmarkIndexLookup(b *testing.B) {
+	ix := newTestIndex(b, Options{})
+	for _, h := range benchHosts {
+		ix.Lookup(h)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Lookup(benchHosts[i%len(benchHosts)])
+	}
+}
+
+// BenchmarkIndexLookupUncached measures the full dispatch + match +
+// resolve path with the cache disabled (every request misses).
+func BenchmarkIndexLookupUncached(b *testing.B) {
+	ix := newTestIndex(b, Options{CacheSize: -1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Lookup(benchHosts[i%len(benchHosts)])
+	}
+}
+
+// BenchmarkIndexLookupParallel drives the shared index from all procs,
+// the daemon's concurrency shape.
+func BenchmarkIndexLookupParallel(b *testing.B) {
+	ix := newTestIndex(b, Options{})
+	for _, h := range benchHosts {
+		ix.Lookup(h)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			ix.Lookup(benchHosts[i%len(benchHosts)])
+			i++
+		}
+	})
+}
+
+// BenchmarkIndexLookupBatch is the batch API over a 1k-hostname slice.
+func BenchmarkIndexLookupBatch(b *testing.B) {
+	ix := newTestIndex(b, Options{})
+	hosts := make([]string, 1000)
+	for i := range hosts {
+		hosts[i] = benchHosts[i%len(benchHosts)]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.LookupBatch(hosts)
+	}
+}
+
+// BenchmarkPerCallLookupWarm is the pre-index apply path in its best
+// case: psl dispatch plus core.Geolocate against conventions whose
+// regex caches are already warm, with the linear learned-hint scan on
+// every call.
+func BenchmarkPerCallLookupWarm(b *testing.B) {
+	res, dict, list := learnFixture(b)
+	for s, nc := range res.NCs {
+		core.Geolocate(nc, dict, "warm.core1.sjc1."+s) // warm the compile caches
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		host := benchHosts[i%len(benchHosts)]
+		core.Geolocate(res.NCs[list.RegistrableDomain(host)], dict, host)
+	}
+}
+
+// BenchmarkPerCallLookupColdCompile is what the pre-index path actually
+// paid per process (and what compile-on-demand costs per request when
+// conventions are reloaded): every regex cache is cold, so matching
+// compiles. The compiled Index never does this after New.
+func BenchmarkPerCallLookupColdCompile(b *testing.B) {
+	res, dict, list := learnFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		host := benchHosts[i%len(benchHosts)]
+		nc := res.NCs[list.RegistrableDomain(host)]
+		if nc == nil {
+			continue
+		}
+		cold := &core.NamingConvention{
+			Suffix: nc.Suffix, Learned: nc.Learned, Class: nc.Class,
+			Regexes: make([]*rex.Regex, len(nc.Regexes)),
+		}
+		for j, r := range nc.Regexes {
+			cold.Regexes[j] = r.Clone()
+		}
+		core.Geolocate(cold, dict, host)
+	}
+}
+
+// BenchmarkIndexBuild measures New over an already-learned result; the
+// shared regex caches are warm after the first build, so this isolates
+// dispatch-map and learned-overlay construction.
+func BenchmarkIndexBuild(b *testing.B) {
+	res, dict, list := learnFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(res, Options{Dict: dict, PSL: list}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package geoloc
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"hoiho/internal/core"
+	"hoiho/internal/geodict"
+	"hoiho/internal/itdk"
+	"hoiho/internal/psl"
+	"hoiho/internal/rtt"
+)
+
+// LoadConventions reads a published conventions file (the output of
+// `hoiho -write-nc`) into a Result ready for New.
+func LoadConventions(path string) (*core.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.ReadConventions(f)
+}
+
+// LoadInputs assembles the pipeline's stage-1 inputs from a corpus
+// directory containing corpus.nodes, corpus.names, and rtt.matrix
+// (corpus.geo is optional and ignored by learning), with the embedded
+// default dictionary and public suffix list.
+func LoadInputs(dir string) (core.Inputs, error) {
+	var in core.Inputs
+	dict, err := geodict.Default()
+	if err != nil {
+		return in, err
+	}
+	list, err := psl.Default()
+	if err != nil {
+		return in, err
+	}
+	corpus, err := readCorpus(dir)
+	if err != nil {
+		return in, err
+	}
+	mf, err := os.Open(filepath.Join(dir, "rtt.matrix"))
+	if err != nil {
+		return in, err
+	}
+	defer mf.Close()
+	matrix, err := rtt.ReadMatrix(mf)
+	if err != nil {
+		return in, err
+	}
+	return core.Inputs{Dict: dict, PSL: list, Corpus: corpus, RTT: matrix}, nil
+}
+
+// LoadResult obtains conventions for serving: from a published
+// conventions file when ncPath is set, otherwise by learning over the
+// corpus directory with cfg. Exactly one of ncPath and corpusDir must
+// be non-empty — the same contract as the hoiho CLI's -nc / -corpus
+// flags, which geoserve mirrors.
+func LoadResult(ncPath, corpusDir string, cfg core.Config) (*core.Result, error) {
+	switch {
+	case ncPath != "" && corpusDir != "":
+		return nil, fmt.Errorf("geoloc: conventions file and corpus directory are mutually exclusive")
+	case ncPath != "":
+		return LoadConventions(ncPath)
+	case corpusDir != "":
+		in, err := LoadInputs(corpusDir)
+		if err != nil {
+			return nil, err
+		}
+		return core.Run(in, cfg)
+	}
+	return nil, fmt.Errorf("geoloc: a conventions file or corpus directory is required")
+}
+
+// readCorpus concatenates the nodes and names files (geo is optional).
+func readCorpus(dir string) (*itdk.Corpus, error) {
+	var readers []io.Reader
+	var closers []io.Closer
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	for _, name := range []string{"corpus.nodes", "corpus.names", "corpus.geo"} {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			if name == "corpus.geo" && os.IsNotExist(err) {
+				continue
+			}
+			return nil, err
+		}
+		closers = append(closers, f)
+		readers = append(readers, f)
+	}
+	return itdk.ReadCorpus(io.MultiReader(readers...), filepath.Base(dir), false)
+}
