@@ -1,0 +1,121 @@
+// Command hoiholint runs hoiho's project-specific static analyzers —
+// the machine-enforced determinism and concurrency invariants described
+// in DESIGN.md. It is built only on the standard library's go/parser,
+// go/ast, and go/types; there is no x/tools dependency, so it runs
+// anywhere the repo builds.
+//
+// Usage:
+//
+//	hoiholint [-list] [-checks maporder,lazyinit] [packages...]
+//
+// Package patterns are module-relative: "./..." (the default) analyzes
+// everything, "./internal/..." a subtree, "./internal/rex" a single
+// package. Test files are exempt by design. Findings print one per
+// line as file:line:col: check: message, sorted, and the exit status
+// is 1 when there are any — the tool is a blocking CI step.
+//
+// Suppress a single finding with a trailing or preceding comment:
+//
+//	//lint:ignore <check> <reason>
+//
+// The reason is mandatory; an ignore without one is itself a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hoiho/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the registered checks and exit")
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	verbose := flag.Bool("v", false, "report type-check errors encountered while loading")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *checks != "" {
+		analyzers = selectChecks(analyzers, *checks)
+	}
+
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		for _, pkg := range pkgs {
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "hoiholint: %s: type error: %v\n", pkg.Path, terr)
+			}
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var selected []*lint.Package
+	for _, pkg := range pkgs {
+		for _, pattern := range patterns {
+			if lint.Match(pkg.Dir, pattern) {
+				selected = append(selected, pkg)
+				break
+			}
+		}
+	}
+	if len(selected) == 0 {
+		fatal(fmt.Errorf("no packages match %s", strings.Join(patterns, " ")))
+	}
+
+	diags := lint.Run(selected, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "hoiholint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// selectChecks filters the analyzer set by name, failing loudly on an
+// unknown name so a typo cannot silently disable a check.
+func selectChecks(all []*lint.Analyzer, spec string) []*lint.Analyzer {
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			fatal(fmt.Errorf("unknown check %q (run with -list to see them)", name))
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		fatal(fmt.Errorf("-checks %q selects no checks", spec))
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hoiholint:", err)
+	os.Exit(1)
+}

@@ -163,6 +163,7 @@ func learnSuffix(group *itdk.SuffixGroup, mapping Mapping, cfg Config) *Conventi
 	var best *Convention
 	for _, tmpl := range candidatePatterns {
 		pattern := strings.ReplaceAll(tmpl, "<sfx>", sfx)
+		//lint:ignore hotcompile learn-time candidate evaluation: each per-suffix pattern is dynamic and compiled exactly once, then cached on the Convention
 		re, err := regexp.Compile(pattern)
 		if err != nil {
 			panic(fmt.Sprintf("asn: bad template %q: %v", tmpl, err))

@@ -105,6 +105,7 @@ func Parse(r io.Reader, dict *geodict.Dictionary) (*RuleSet, error) {
 			if suffix == "" {
 				return nil, fmt.Errorf("undns: line %d: rule before suffix", line)
 			}
+			//lint:ignore hotcompile rule-file load time: each published rule is compiled once per load, never per lookup
 			re, err := regexp.Compile(fields[1])
 			if err != nil {
 				return nil, fmt.Errorf("undns: line %d: %w", line, err)

@@ -284,6 +284,7 @@ type Fig10 struct {
 // ComputeFig10 evaluates the learned hints of a result.
 func ComputeFig10(w *synth.World, res *core.Result) Fig10 {
 	var rtts, kms []float64
+	//lint:ignore maporder order-insensitive: makeCDF sorts the pooled samples before use
 	for _, nc := range res.NCs {
 		for _, lh := range nc.Learned {
 			rtts = append(rtts, closestVPRTTms(w, lh.Loc.Pos))
@@ -332,6 +333,7 @@ func ComputeFig11(w *synth.World, res *core.Result) Fig11 {
 		correct bool
 	}
 	var samples []sample
+	//lint:ignore maporder order-insensitive: samples are only counted into RTT buckets, never emitted in slice order
 	for suffix, nc := range res.NCs {
 		truth := w.TruthHints[suffix]
 		for _, lh := range nc.Learned {
@@ -453,6 +455,7 @@ func ComputeTable5Multi(results []*core.Result, dict *geodict.Dictionary, minSuf
 func ComputeFig10Multi(worlds []*synth.World, results []*core.Result) Fig10 {
 	var rtts, kms []float64
 	for i, w := range worlds {
+		//lint:ignore maporder order-insensitive: makeCDF sorts the pooled samples before use
 		for _, nc := range results[i].NCs {
 			for _, lh := range nc.Learned {
 				rtts = append(rtts, closestVPRTTms(w, lh.Loc.Pos))
@@ -475,6 +478,7 @@ func ComputeFig11Multi(worlds []*synth.World, results []*core.Result) Fig11 {
 	}
 	var samples []sample
 	for i, w := range worlds {
+		//lint:ignore maporder order-insensitive: samples are only counted into RTT buckets, never emitted in slice order
 		for suffix, nc := range results[i].NCs {
 			truth := w.TruthHints[suffix]
 			for _, lh := range nc.Learned {

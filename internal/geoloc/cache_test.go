@@ -1,0 +1,169 @@
+package geoloc
+
+import (
+	"fmt"
+	"testing"
+
+	"hoiho/internal/core"
+)
+
+// sameShardKeys generates n distinct keys that all hash into shard 0,
+// so per-shard LRU behavior can be observed deterministically.
+func sameShardKeys(n int) []string {
+	var keys []string
+	for i := 0; len(keys) < n; i++ {
+		k := fmt.Sprintf("router-%d.example.net", i)
+		if fnv32a(k)&(cacheShards-1) == 0 {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+func TestCacheShardEvictionOrder(t *testing.T) {
+	// Capacity cacheShards*2 gives every shard room for exactly two
+	// entries; three same-shard keys must evict in LRU order.
+	c := newCache(cacheShards * 2)
+	keys := sameShardKeys(3)
+	g := make([]*core.Geolocation, 3)
+	for i := range g {
+		g[i] = &core.Geolocation{Hostname: keys[i]}
+		c.put(keys[i], g[i])
+	}
+	// keys[0] is the least recently used and must be gone.
+	if _, ok := c.get(keys[0]); ok {
+		t.Fatalf("oldest entry %q survived eviction", keys[0])
+	}
+	for i := 1; i < 3; i++ {
+		got, ok := c.get(keys[i])
+		if !ok || got != g[i] {
+			t.Fatalf("entry %q missing after eviction of older key", keys[i])
+		}
+	}
+}
+
+func TestCacheGetRefreshesRecency(t *testing.T) {
+	c := newCache(cacheShards * 2)
+	keys := sameShardKeys(3)
+	c.put(keys[0], &core.Geolocation{Hostname: keys[0]})
+	c.put(keys[1], &core.Geolocation{Hostname: keys[1]})
+	// Touch keys[0] so keys[1] becomes the LRU victim.
+	if _, ok := c.get(keys[0]); !ok {
+		t.Fatal("warm entry missing")
+	}
+	c.put(keys[2], &core.Geolocation{Hostname: keys[2]})
+	if _, ok := c.get(keys[1]); ok {
+		t.Fatalf("LRU entry %q survived; get did not refresh recency", keys[1])
+	}
+	if _, ok := c.get(keys[0]); !ok {
+		t.Fatalf("recently used entry %q was evicted", keys[0])
+	}
+}
+
+func TestCachePutUpdatesInPlace(t *testing.T) {
+	c := newCache(cacheShards)
+	keys := sameShardKeys(1)
+	old := &core.Geolocation{Hostname: keys[0], Hint: "old"}
+	replacement := &core.Geolocation{Hostname: keys[0], Hint: "new"}
+	c.put(keys[0], old)
+	c.put(keys[0], replacement)
+	if c.len() != 1 {
+		t.Fatalf("len = %d after double put of one key, want 1", c.len())
+	}
+	got, ok := c.get(keys[0])
+	if !ok || got != replacement {
+		t.Fatalf("get = %v, want the replacement entry", got)
+	}
+}
+
+func TestCacheNegativeEntry(t *testing.T) {
+	c := newCache(cacheShards)
+	keys := sameShardKeys(2)
+	c.put(keys[0], nil)
+	got, ok := c.get(keys[0])
+	if !ok {
+		t.Fatal("cached negative entry not found")
+	}
+	if got != nil {
+		t.Fatalf("negative entry returned %v, want nil", got)
+	}
+	if _, ok := c.get(keys[1]); ok {
+		t.Fatal("missing key reported present")
+	}
+}
+
+func TestCacheLenAcrossShards(t *testing.T) {
+	c := newCache(cacheShards * 4)
+	for i := 0; i < cacheShards*4; i++ {
+		c.put(fmt.Sprintf("host%d.example.net", i), nil)
+	}
+	// Hashing spreads keys unevenly, so some shards may have evicted;
+	// the total can never exceed the configured bound.
+	if n := c.len(); n == 0 || n > cacheShards*4 {
+		t.Fatalf("len = %d, want within (0, %d]", n, cacheShards*4)
+	}
+}
+
+// TestNegativeCachingStats pins the Stats accounting for the negative
+// path: a hostname with no matching convention is cached as a nil
+// entry, so the second lookup is a cache hit that still counts as
+// unmatched.
+func TestNegativeCachingStats(t *testing.T) {
+	ix := newTestIndex(t, Options{CacheSize: 64})
+	const miss = "totally.unconventional.example"
+	for i := 0; i < 3; i++ {
+		if g, ok := ix.Lookup(miss); ok || g != nil {
+			t.Fatalf("lookup %d of %q = (%v, %v), want (nil, false)", i, miss, g, ok)
+		}
+	}
+	s := ix.Stats()
+	if s.Lookups != 3 {
+		t.Fatalf("Lookups = %d, want 3", s.Lookups)
+	}
+	if s.CacheMisses != 1 {
+		t.Fatalf("CacheMisses = %d, want 1 (only the first lookup runs the regexes)", s.CacheMisses)
+	}
+	if s.CacheHits != 2 {
+		t.Fatalf("CacheHits = %d, want 2 (negative entries are cached)", s.CacheHits)
+	}
+	if s.Unmatched != 3 {
+		t.Fatalf("Unmatched = %d, want 3 (a cached negative still counts unmatched)", s.Unmatched)
+	}
+	if s.Matched != 0 {
+		t.Fatalf("Matched = %d, want 0", s.Matched)
+	}
+}
+
+// TestEvictionReloadsThroughLocate confirms an evicted entry is
+// recomputed, not lost: overflow the resolved hostname's shard (one
+// entry per shard at this cache size), then re-look it up — that must
+// be a cache miss that still resolves identically.
+func TestEvictionReloadsThroughLocate(t *testing.T) {
+	ix := newTestIndex(t, Options{CacheSize: cacheShards}) // one entry per shard
+	const host = "te0-0-0.core1.sjc1.he.net"
+	first, ok := ix.Lookup(host)
+	if !ok {
+		t.Fatal("fixture hostname did not resolve")
+	}
+	// Drive a filler lookup through the same shard to evict host; the
+	// filler's negative result occupies the shard's single slot.
+	target := fnv32a(host) & (cacheShards - 1)
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("filler-%d.example.net", i)
+		if fnv32a(k)&(cacheShards-1) == target {
+			ix.Lookup(k)
+			break
+		}
+	}
+	misses := ix.Stats().CacheMisses
+	again, ok := ix.Lookup(host)
+	if !ok {
+		t.Fatal("hostname stopped resolving after eviction")
+	}
+	if ix.Stats().CacheMisses != misses+1 {
+		t.Fatal("expected the evicted entry to be recomputed (a cache miss)")
+	}
+	if again.Loc.String() != first.Loc.String() || again.Hint != first.Hint || again.Suffix != first.Suffix {
+		t.Fatalf("post-eviction lookup differs: %+v vs %+v", again, first)
+	}
+}

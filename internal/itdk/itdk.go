@@ -95,7 +95,11 @@ type Corpus struct {
 
 // NewCorpus returns an empty corpus with the given name.
 func NewCorpus(name string, ipv6 bool) *Corpus {
-	return &Corpus{Name: name, IPv6: ipv6, byID: make(map[string]*Router)}
+	return &Corpus{
+		Name: name, IPv6: ipv6,
+		byID: make(map[string]*Router),
+		nbrs: make(map[string][]string),
+	}
 }
 
 // Add appends a router to the corpus. It returns an error on a duplicate
@@ -124,9 +128,6 @@ func (c *Corpus) AddLink(a, b string) error {
 		return fmt.Errorf("itdk: self-link on %s", a)
 	}
 	c.Links = append(c.Links, Link{A: a, B: b})
-	if c.nbrs == nil {
-		c.nbrs = make(map[string][]string)
-	}
 	c.nbrs[a] = append(c.nbrs[a], b)
 	c.nbrs[b] = append(c.nbrs[b], a)
 	return nil

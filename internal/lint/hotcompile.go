@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Hotcompile flags regexp compilation on hot paths — the PR-2 geoloc
+// bug class, where patterns were recompiled on every Lookup instead of
+// once at index build time. A call to regexp.Compile, MustCompile,
+// CompilePOSIX, or MustCompilePOSIX is reported when it sits
+// (lexically) inside a for/range loop, or inside an HTTP handler — a
+// function taking an http.ResponseWriter or *http.Request.
+//
+// Compilation at package level, in init, or in ordinary construction
+// code that runs once per build is fine and not reported. Loops that
+// genuinely must compile dynamic patterns (the learning pipeline's
+// candidate evaluation) document that with //lint:ignore hotcompile.
+func Hotcompile() *Analyzer {
+	return &Analyzer{
+		Name: "hotcompile",
+		Doc:  "regexp compilation inside a loop or per-request handler",
+		Run:  runHotcompile,
+	}
+}
+
+func runHotcompile(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		regexpName := importName(f, "regexp")
+		if regexpName == "" {
+			continue
+		}
+		forEachFunc(f, func(fn funcNode) {
+			checkHotcompileFunc(pass, fn, regexpName)
+		})
+	}
+}
+
+func checkHotcompileFunc(pass *Pass, fn funcNode, regexpName string) {
+	handler := isHandlerFunc(pass, fn)
+	var walk func(n ast.Node, loops int)
+	walk = func(n ast.Node, loops int) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops++
+		case *ast.FuncLit:
+			// A literal defined inside a loop still runs per iteration;
+			// keep the loop depth. Its own loops nest on top.
+		case *ast.CallExpr:
+			if name, ok := regexpCompileCall(n, regexpName); ok {
+				switch {
+				case loops > 0:
+					pass.Reportf(n, "%s inside a loop; compile once at init or index build time and reuse", name)
+				case handler:
+					pass.Reportf(n, "%s inside a request handler; compile once at init or index build time and reuse", name)
+				}
+			}
+		}
+		for _, child := range childNodes(n) {
+			walk(child, loops)
+		}
+	}
+	walk(fn.body, 0)
+}
+
+// regexpCompileCall matches regexp.Compile / MustCompile /
+// CompilePOSIX / MustCompilePOSIX through the file's import name.
+func regexpCompileCall(call *ast.CallExpr, regexpName string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != regexpName {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Compile", "MustCompile", "CompilePOSIX", "MustCompilePOSIX":
+		return "regexp." + sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// isHandlerFunc reports whether the function takes an
+// http.ResponseWriter or *http.Request — the request-scoped signature.
+func isHandlerFunc(pass *Pass, fn funcNode) bool {
+	if fn.params == nil {
+		return false
+	}
+	for _, field := range fn.params.List {
+		t := pass.ExprString(field.Type)
+		if strings.HasSuffix(t, "http.ResponseWriter") || strings.HasSuffix(t, "http.Request") {
+			return true
+		}
+	}
+	return false
+}
+
+// importName returns the local name the file imports path under, or ""
+// when the file does not import it.
+func importName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			return path[i+1:]
+		}
+		return path
+	}
+	return ""
+}
+
+// childNodes lists a node's direct children via ast.Inspect's
+// first-level callbacks.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	depth := 0
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			depth--
+			return true
+		}
+		depth++
+		if depth == 2 {
+			out = append(out, c)
+			depth--
+			return false
+		}
+		return true
+	})
+	return out
+}

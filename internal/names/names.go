@@ -114,6 +114,7 @@ func learnSuffix(group *itdk.SuffixGroup, minRouters int) *Convention {
 	var best *Convention
 	for _, tmpl := range candidatePatterns {
 		pattern := strings.ReplaceAll(tmpl, "<sfx>", sfx)
+		//lint:ignore hotcompile learn-time candidate evaluation: each per-suffix pattern is dynamic and compiled exactly once
 		re, err := regexp.Compile(pattern)
 		if err != nil {
 			panic(fmt.Sprintf("names: bad template %q: %v", tmpl, err))

@@ -32,6 +32,70 @@ func FuzzParsePattern(f *testing.F) {
 	})
 }
 
+// fuzzLiterals is the literal-text table FuzzRegexRender draws from:
+// grammar-alphabet text plus metacharacters QuoteMeta escapes, so the
+// renderer's escaping path is exercised.
+var fuzzLiterals = []string{"a", "ge", "xe0", "alter", "_", ".", "+", "net"}
+
+// FuzzRegexRender drives the component-level round trip that
+// FuzzParsePattern drives from the string side: arbitrary bytes are
+// decoded into a component sequence, and every sequence that passes
+// Validate must render to a pattern that reparses (with the same
+// roles), re-renders byte-identically, and compiles.
+func FuzzRegexRender(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x06, 0x03})                         // ([a-z]{N}) hint capture
+	f.Add([]byte{0x03, 0x00, 0x01, 0x00, 0x07, 0x03}) // .+ \. ([a-z]+)
+	f.Add([]byte{0x06, 0x05, 0x02, 0x00, 0x06, 0x07}) // split-CLLI pair
+	f.Add([]byte{0x00, 0x0a, 0x01, 0x00, 0x00, 0x06})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := decodeRegex(data)
+		if err := r.Validate(); err != nil {
+			return
+		}
+		pattern := r.String()
+		parsed, err := ParsePattern(r.Hint, pattern, r.Roles())
+		if err != nil {
+			t.Fatalf("valid regex %q does not reparse: %v", pattern, err)
+		}
+		if parsed.String() != pattern {
+			t.Fatalf("round trip changed rendering: %q -> %q", pattern, parsed.String())
+		}
+		if len(parsed.Roles()) != len(r.Roles()) {
+			t.Fatalf("round trip changed capture count: %q", pattern)
+		}
+		if _, err := r.Compile(); err != nil {
+			t.Fatalf("valid regex %q does not compile: %v", pattern, err)
+		}
+	})
+}
+
+// decodeRegex deterministically maps fuzz bytes onto a component
+// sequence: two bytes per component select the kind and the
+// capture/role/repeat/literal parameters, constrained to the values the
+// emitted grammar can express (repeat counts 1..63, literal text from
+// fuzzLiterals).
+func decodeRegex(data []byte) *Regex {
+	var comps []Component
+	for i := 0; i+1 < len(data); i += 2 {
+		kind := Kind(data[i] % 11)
+		p := data[i+1]
+		c := Component{Kind: kind}
+		if p&1 == 1 {
+			c.Capture = true
+			c.Role = Role(1 + (p>>1)%5)
+		}
+		switch kind {
+		case KindAlphaFixed:
+			c.N = 1 + int(p>>2)%63
+		case KindLiteral:
+			c.Lit = fuzzLiterals[int(p>>1)%len(fuzzLiterals)]
+		}
+		comps = append(comps, c)
+	}
+	return New(geodict.HintIATA, comps...)
+}
+
 // FuzzMatch feeds arbitrary hostnames to a fixed regex: no panics, and
 // every reported extraction must be a substring of the input.
 func FuzzMatch(f *testing.F) {

@@ -40,12 +40,9 @@ func ParsePattern(hint geodict.HintType, pattern string, roles []Role) (*Regex, 
 				return nil, fmt.Errorf("rex: unterminated capture in %q", pattern)
 			}
 			inner := body[i+1 : i+end]
-			c, n, err = parseOne(inner)
+			c, err = parseCapture(inner)
 			if err != nil {
 				return nil, err
-			}
-			if n != len(inner) {
-				return nil, fmt.Errorf("rex: capture %q is not a single component", inner)
 			}
 			if ri >= len(roles) {
 				return nil, fmt.Errorf("rex: pattern %q has more captures than roles", pattern)
@@ -61,8 +58,9 @@ func ParsePattern(hint geodict.HintType, pattern string, roles []Role) (*Regex, 
 			}
 			i += n
 		}
-		// Coalesce adjacent literals.
-		if c.Kind == KindLiteral && len(r.Comps) > 0 {
+		// Coalesce adjacent plain literals (never into or out of a
+		// capture: `a(a)` is a literal followed by a captured literal).
+		if c.Kind == KindLiteral && !c.Capture && len(r.Comps) > 0 {
 			last := &r.Comps[len(r.Comps)-1]
 			if last.Kind == KindLiteral && !last.Capture {
 				last.Lit += c.Lit
@@ -78,6 +76,36 @@ func ParsePattern(hint geodict.HintType, pattern string, roles []Role) (*Regex, 
 		return nil, err
 	}
 	return r, nil
+}
+
+// parseCapture parses the inside of a capture group, which must be a
+// single component. Literal text spanning several parseOne tokens
+// ("xe0", "\+x") coalesces into one literal component, mirroring the
+// renderer, so captured literals of any length round-trip.
+func parseCapture(inner string) (Component, error) {
+	var out Component
+	parsed := false
+	i := 0
+	for i < len(inner) {
+		c, n, err := parseOne(inner[i:])
+		if err != nil {
+			return Component{}, err
+		}
+		i += n
+		if parsed && out.Kind == KindLiteral && c.Kind == KindLiteral {
+			out.Lit += c.Lit
+			continue
+		}
+		if parsed {
+			return Component{}, fmt.Errorf("rex: capture %q is not a single component", inner)
+		}
+		out = c
+		parsed = true
+	}
+	if !parsed {
+		return Component{}, fmt.Errorf("rex: empty capture")
+	}
+	return out, nil
 }
 
 // parseOne parses a single component at the head of s, returning it and

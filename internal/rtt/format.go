@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -33,7 +34,12 @@ func WriteMatrix(w io.Writer, m *Matrix) error {
 			fmt.Fprintf(bw, "ping %s %s %.3f %s\n", router, me.VP.Name, me.Sample.RTTms, me.Sample.Method)
 		}
 	}
+	traceRouters := make([]string, 0, len(m.trace))
 	for router := range m.trace {
+		traceRouters = append(traceRouters, router)
+	}
+	sort.Strings(traceRouters)
+	for _, router := range traceRouters {
 		for _, me := range m.TraceMeasurements(router) {
 			fmt.Fprintf(bw, "trace %s %s %.3f\n", router, me.VP.Name, me.Sample.RTTms)
 		}
