@@ -24,17 +24,23 @@
 //	BenchmarkAblation_CongruenceThreshold  congruent-router threshold sweep (§5.4)
 //	BenchmarkPipeline_FullRun              end-to-end pipeline cost, sequential (Workers=1)
 //	BenchmarkRunParallel                   same corpus, Workers=GOMAXPROCS worker pool
+//	BenchmarkRunParallelTraced             worker pool with span tracing enabled
+//	BenchmarkStage2                        stage-2 tagging of one suffix group
+//	BenchmarkGeolocBatch                   geoloc.Index batch lookups, warm cache
 package hoiho_bench
 
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
 
 	"hoiho/internal/core"
 	"hoiho/internal/eval"
+	"hoiho/internal/geoloc"
+	"hoiho/internal/obs"
 	"hoiho/internal/rtt"
 	"hoiho/internal/synth"
 )
@@ -253,6 +259,83 @@ func BenchmarkRunParallel(b *testing.B) {
 		if _, err := core.Run(in, cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRunParallelTraced is BenchmarkRunParallel with a live
+// tracer. The delta against BenchmarkRunParallel is the enabled-tracing
+// cost; the disabled-tracing cost is zero by construction (nil-receiver
+// no-ops, proven by obs.TestNilTracerZeroAlloc).
+func BenchmarkRunParallelTraced(b *testing.B) {
+	s := loadSuite(b)
+	in := s.Worlds[0].Inputs()
+	cfg := core.DefaultConfig()
+	cfg.Workers = runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Tracer = obs.New(obs.Options{RetainSpans: true})
+		if _, err := core.Run(in, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStage2 measures apparent-geohint tagging (parse + dictionary
+// + RTT consistency) over the corpus's largest suffix group, isolated
+// from regex learning.
+func BenchmarkStage2(b *testing.B) {
+	s := loadSuite(b)
+	w := s.Worlds[0]
+	in := w.Inputs()
+	cfg := core.DefaultConfig()
+	// Measure the suffix with the most hostnames (ties broken by name so
+	// every run benchmarks the same group).
+	counts := make(map[string]int)
+	for _, sfx := range w.HintHostnames {
+		counts[sfx]++
+	}
+	var suffix string
+	for sfx, n := range counts {
+		if suffix == "" || n > counts[suffix] || (n == counts[suffix] && sfx < suffix) {
+			suffix = sfx
+		}
+	}
+	tagged, err := core.TagSuffix(in, cfg, suffix)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(tagged)), "hostnames")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.TagSuffix(in, cfg, suffix); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGeolocBatch measures Index.LookupBatch over every hostname
+// the corpus knows to carry a geohint, after one warming pass — the
+// serving layer's steady state where the LRU absorbs repeats.
+func BenchmarkGeolocBatch(b *testing.B) {
+	s := loadSuite(b)
+	w, res := s.Worlds[0], s.Results[0]
+	ix, err := geoloc.New(res, geoloc.Options{Dict: w.Dict, PSL: w.PSL})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hosts := make([]string, 0, len(w.HintHostnames))
+	for h := range w.HintHostnames {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	if len(hosts) > geoloc.DefaultCacheSize {
+		hosts = hosts[:geoloc.DefaultCacheSize]
+	}
+	ix.LookupBatch(hosts) // warm the cache
+	b.ReportMetric(float64(len(hosts)), "hostnames")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.LookupBatch(hosts)
 	}
 }
 

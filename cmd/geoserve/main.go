@@ -15,7 +15,9 @@
 //	POST /v1/geolocate   {"hostname": "..."} or {"hostnames": [...]}
 //	GET  /healthz        liveness and index size
 //	GET  /metrics        expvar counters: requests, cache hits/misses,
-//	                     matches by suffix and class, latency histogram
+//	                     matches by suffix and class, latency histogram,
+//	                     per-route span aggregates ("routes")
+//	GET  /debug/pprof/   net/http/pprof profiling (heap, profile, trace, ...)
 //
 // The process drains in-flight requests and exits cleanly on SIGINT or
 // SIGTERM.
@@ -36,6 +38,7 @@ import (
 
 	"hoiho/internal/core"
 	"hoiho/internal/geoloc"
+	"hoiho/internal/obs"
 )
 
 func main() {
@@ -54,14 +57,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	// One aggregate-only tracer spans the daemon's lifetime: learning
+	// (with -corpus), the index build, per-batch lookups, and per-route
+	// request handling all roll up into the /metrics "routes" section.
+	tracer := obs.New(obs.Options{})
+
 	cfg := core.DefaultConfig()
 	cfg.LearnHints = !*noLearn
 	cfg.Workers = *workers
+	cfg.Tracer = tracer
 	res, err := geoloc.LoadResult(*ncFile, *dir, cfg)
 	if err != nil {
 		fatal(err)
 	}
-	ix, err := geoloc.New(res, geoloc.Options{UsableOnly: *usableOnly, CacheSize: *cacheSize})
+	ix, err := geoloc.New(res, geoloc.Options{UsableOnly: *usableOnly, CacheSize: *cacheSize, Tracer: tracer})
 	if err != nil {
 		fatal(err)
 	}
@@ -74,7 +83,7 @@ func main() {
 	log.Printf("geoserve: listening on %s", ln.Addr())
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := serve(ctx, ln, newServer(ix)); err != nil {
+	if err := serve(ctx, ln, newTracedServer(ix, tracer)); err != nil {
 		fatal(err)
 	}
 	log.Print("geoserve: shut down cleanly")

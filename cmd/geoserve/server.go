@@ -5,10 +5,12 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"hoiho/internal/core"
 	"hoiho/internal/geoloc"
+	"hoiho/internal/obs"
 )
 
 // maxBatch bounds one POST /v1/geolocate request; larger workloads
@@ -25,15 +27,26 @@ type server struct {
 	mux     *http.ServeMux
 	vars    *expvar.Map // requests, bad_requests, hostnames by endpoint
 	latency *expvar.Map // /v1/geolocate latency histogram buckets
+	tracer  *obs.Tracer // aggregate-only: per-route spans for /metrics
 	start   time.Time
 }
 
 func newServer(ix *geoloc.Index) *server {
+	// Aggregate-only tracing: the daemon keeps per-route span rollups
+	// forever but never retains raw spans, so memory stays constant no
+	// matter how long it serves.
+	return newTracedServer(ix, obs.New(obs.Options{}))
+}
+
+// newTracedServer wires an externally-built tracer, letting main share
+// one tracer between the index (compile + batch spans) and the routes.
+func newTracedServer(ix *geoloc.Index, tr *obs.Tracer) *server {
 	s := &server{
 		ix:      ix,
 		mux:     http.NewServeMux(),
 		vars:    new(expvar.Map).Init(),
 		latency: new(expvar.Map).Init(),
+		tracer:  tr,
 		start:   time.Now(),
 	}
 	// Pre-register the histogram so /metrics always shows every bucket.
@@ -41,10 +54,31 @@ func newServer(ix *geoloc.Index) *server {
 		s.latency.Add(b.name, 0)
 	}
 	s.latency.Add(bucketInf, 0)
-	s.mux.HandleFunc("POST /v1/geolocate", s.handleGeolocate)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.route("POST /v1/geolocate", s.handleGeolocate)
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /metrics", s.handleMetrics)
+	// Profiling endpoints, registered explicitly (the pprof package's
+	// side-effect registration only covers http.DefaultServeMux).
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return s
+}
+
+// route registers a handler wrapped in an "http" span keyed by the
+// route pattern, feeding the per-route section of /metrics. Profiling
+// routes stay unwrapped — a 30-second CPU profile would dominate every
+// latency aggregate.
+func (s *server) route(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		sp := s.tracer.Start("http")
+		sp.SetKey(pattern)
+		sp.Count("requests", 1)
+		h(w, r)
+		sp.End()
+	})
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -139,17 +173,23 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics emits one JSON document: the server's expvar counters,
-// the /v1/geolocate latency histogram, and the index's lookup counters.
-// expvar.Map.String() is already JSON, so the three parts are spliced.
+// the /v1/geolocate latency histogram, the index's lookup counters, and
+// the per-route span aggregates. expvar.Map.String() is already JSON,
+// so the parts are spliced.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	index, err := json.Marshal(s.ix.Stats())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	routes, err := json.Marshal(s.tracer.Summary())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, `{"server":%s,"latency_us":%s,"index":%s}`+"\n",
-		s.vars.String(), s.latency.String(), index)
+	fmt.Fprintf(w, `{"server":%s,"latency_us":%s,"index":%s,"routes":%s}`+"\n",
+		s.vars.String(), s.latency.String(), index, routes)
 }
 
 // latencyBuckets are the upper bounds of the /v1/geolocate latency

@@ -9,6 +9,7 @@
 //	hoiho -corpus data/aug2020 [-workers n] [-no-learn] [-suffix ntt.net] [-geolocate host]
 //	hoiho -corpus data/aug2020 -write-nc conventions.txt
 //	hoiho -nc conventions.txt -geolocate host      # apply without a corpus
+//	hoiho -corpus data/aug2020 -trace out.jsonl -tracesummary   # profile the run
 //
 // The -corpus directory must contain corpus.nodes, corpus.names, and
 // rtt.matrix (corpus.geo is optional and ignored by learning). A
@@ -33,6 +34,7 @@ import (
 	"hoiho/internal/core"
 	"hoiho/internal/geoloc"
 	"hoiho/internal/names"
+	"hoiho/internal/obs"
 )
 
 func main() {
@@ -47,11 +49,23 @@ func main() {
 	usableOnly := flag.Bool("usable-only", false, "print only good/promising conventions")
 	workers := flag.Int("workers", 0,
 		"suffix groups learned concurrently (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+	traceOut := flag.String("trace", "", "write a JSONL span trace of the run to this file")
+	traceSummary := flag.Bool("tracesummary", false,
+		"print the aggregated per-stage/per-suffix span table to stderr")
 	flag.Parse()
 	if *dir == "" && *ncFile == "" {
 		fmt.Fprintln(os.Stderr, "hoiho: one of -corpus or -nc is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// One tracer covers the whole invocation: the learning run, the
+	// serving-index build, and any -geolocate lookup all record into it.
+	// Raw spans are only retained when a -trace file will consume them;
+	// -tracesummary alone runs in constant memory off the aggregates.
+	var tracer *obs.Tracer
+	if *traceOut != "" || *traceSummary {
+		tracer = obs.New(obs.Options{RetainSpans: *traceOut != ""})
 	}
 
 	var res *core.Result
@@ -73,6 +87,7 @@ func main() {
 		cfg := core.DefaultConfig()
 		cfg.LearnHints = !*noLearn
 		cfg.Workers = *workers
+		cfg.Tracer = tracer
 		res, err = core.Run(in, cfg)
 		if err != nil {
 			fatal(err)
@@ -147,7 +162,7 @@ func main() {
 	}
 
 	if *locate != "" {
-		ix, err := geoloc.New(res, geoloc.Options{})
+		ix, err := geoloc.New(res, geoloc.Options{Tracer: tracer})
 		if err != nil {
 			fatal(err)
 		}
@@ -165,6 +180,26 @@ func main() {
 		}
 		fmt.Printf("\n%s -> %s via %s %q%s at %s\n",
 			*locate, g.Loc.String(), g.Type, g.Hint, learned, g.Loc.Pos)
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.WriteJSONL(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "hoiho: wrote %d spans to %s\n", tracer.SpanCount(), *traceOut)
+	}
+	if *traceSummary {
+		if err := tracer.Summary().Format(os.Stderr); err != nil {
+			fatal(err)
+		}
 	}
 }
 

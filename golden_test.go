@@ -1,0 +1,194 @@
+package hoiho_bench
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hoiho/internal/core"
+	"hoiho/internal/geoloc"
+	"hoiho/internal/itdk"
+	"hoiho/internal/obs"
+	"hoiho/internal/rtt"
+	"hoiho/internal/synth"
+)
+
+// goldenDir holds the committed golden corpus (a small seeded synthetic
+// world written to the on-disk ITDK format) and the expected learned
+// conventions. TestGoldenPipeline diffs the pipeline's output against it
+// byte-for-byte; `go test -run TestGoldenPipeline -update` regenerates
+// both after an intentional behaviour change.
+const goldenDir = "testdata/golden"
+
+var updateGolden = flag.Bool("update", false,
+	"regenerate testdata/golden (corpus + expected conventions) instead of diffing")
+
+// goldenParams is the fixed recipe behind the committed corpus: small
+// enough to learn in well under a second, varied enough to exercise
+// every stage (multiple convention styles, tiny operators, noise
+// operators, a spoofing VP that CleanSpoofers removes).
+func goldenParams() synth.Params {
+	return synth.Params{
+		Name:          "golden",
+		Seed:          42,
+		Operators:     8,
+		Tiny:          4,
+		Noise:         4,
+		VPs:           10,
+		SpoofVPs:      1,
+		HostnameRate:  0.6,
+		AnonymousFrac: 0.3,
+		Delay:         rtt.DefaultDelayModel(),
+		TracedVPsMax:  2,
+		NoiseRouters:  10,
+	}
+}
+
+// regenerateGolden rebuilds the committed corpus and expected output.
+// The expected conventions are computed from the *reloaded* corpus (not
+// the in-memory world), so the committed pair is exactly what the test
+// will later reproduce.
+func regenerateGolden(t *testing.T) {
+	t.Helper()
+	w, err := synth.Generate(goldenParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.CleanSpoofers()
+	if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, fn func(*os.File) error) {
+		f, err := os.Create(filepath.Join(goldenDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("corpus.nodes", func(f *os.File) error { return itdk.WriteNodes(f, w.Corpus) })
+	write("corpus.names", func(f *os.File) error { return itdk.WriteNames(f, w.Corpus) })
+	write("corpus.geo", func(f *os.File) error { return itdk.WriteGeo(f, w.Corpus) })
+	write("rtt.matrix", func(f *os.File) error { return rtt.WriteMatrix(f, w.Matrix) })
+
+	write("conventions.txt", func(f *os.File) error {
+		res, err := runGolden(t)
+		if err != nil {
+			return err
+		}
+		return core.WriteConventions(f, res)
+	})
+	t.Logf("regenerated %s; commit the new files if the change is intentional", goldenDir)
+}
+
+// runGolden learns conventions from the on-disk golden corpus exactly
+// as the CLI would: default configuration over LoadInputs.
+func runGolden(t *testing.T) (*core.Result, error) {
+	t.Helper()
+	in, err := geoloc.LoadInputs(goldenDir)
+	if err != nil {
+		return nil, err
+	}
+	return core.Run(in, core.DefaultConfig())
+}
+
+// TestGoldenPipeline is the end-to-end regression gate: the pipeline
+// over the committed corpus must reproduce the committed conventions
+// file byte-for-byte. Any drift in parsing, tagging, candidate
+// generation, evaluation, learning, selection, classification, or
+// serialization fails this test.
+func TestGoldenPipeline(t *testing.T) {
+	if *updateGolden {
+		regenerateGolden(t)
+		return
+	}
+	want, err := os.ReadFile(filepath.Join(goldenDir, "conventions.txt"))
+	if err != nil {
+		t.Fatalf("missing golden output (run `go test -run TestGoldenPipeline -update`): %v", err)
+	}
+	res, err := runGolden(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NCs) == 0 {
+		t.Fatal("golden corpus learned no conventions")
+	}
+	if len(res.UsableNCs()) == 0 {
+		t.Fatal("golden corpus learned no usable conventions")
+	}
+	var got bytes.Buffer
+	if err := core.WriteConventions(&got, res); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("learned conventions drifted from %s/conventions.txt\n%s\n(if intentional, regenerate with -update)",
+			goldenDir, diffSummary(want, got.Bytes()))
+	}
+}
+
+// diffSummary renders the first divergent line of two byte slices — a
+// byte-level diff of a 100-line file is unreadable in CI logs.
+func diffSummary(want, got []byte) string {
+	wl := bytes.Split(want, []byte("\n"))
+	gl := bytes.Split(got, []byte("\n"))
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(wl[i], gl[i]) {
+			return fmt.Sprintf("first divergence at line %d:\n  want: %s\n  got:  %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: want %d lines, got %d", len(wl), len(gl))
+}
+
+// TestGoldenTraceDeterministic locks down the trace export contract:
+// two traced runs of the committed corpus — frozen clock, sequential
+// worker so worker attribution is fixed — emit byte-identical JSONL.
+// When HOIHO_GOLDEN_TRACE is set the first trace is written there (CI
+// uploads it as an artifact when the golden suite fails).
+func TestGoldenTraceDeterministic(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden regeneration run")
+	}
+	in, err := geoloc.LoadInputs(goldenDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := func() []byte {
+		cfg := core.DefaultConfig()
+		cfg.Workers = 1
+		cfg.Tracer = obs.New(obs.Options{Clock: obs.FrozenClock, RetainSpans: true})
+		if _, err := core.Run(in, cfg); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := cfg.Tracer.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	first := trace()
+	if len(first) == 0 {
+		t.Fatal("traced golden run exported nothing")
+	}
+	if out := os.Getenv("HOIHO_GOLDEN_TRACE"); out != "" {
+		if err := os.WriteFile(out, first, 0o644); err != nil {
+			t.Fatalf("writing trace artifact: %v", err)
+		}
+	}
+	second := trace()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("trace JSONL differs between two identical runs\n%s", diffSummary(first, second))
+	}
+}

@@ -111,6 +111,38 @@ func TestLearnAndGeolocate(t *testing.T) {
 	}
 }
 
+// TestGeolocateTable sweeps Geolocate over the hit / miss / malformed
+// input space with one learned ruleset.
+func TestGeolocateTable(t *testing.T) {
+	corpus, m, d, list := buildTrainingWorld(t)
+	rs := Learn(corpus, list, d, m)
+	cases := []struct {
+		name, host, suffix string
+		wantCity           string
+		wantOK             bool
+	}{
+		{"hit iata", "cr9.ams.example360.net", "example360.net", "amsterdam", true},
+		{"hit other site", "cr9.vie.example360.net", "example360.net", "vienna", true},
+		{"miss unknown code", "cr9.qqq.example360.net", "example360.net", "", false},
+		{"miss trailing digit", "cr9.fra2.example360.net", "example360.net", "", false},
+		{"miss unlearned suffix", "cr9.fra.other.net", "other.net", "", false},
+		{"malformed no prefix", "example360.net", "example360.net", "", false},
+		{"malformed empty host", "", "example360.net", "", false},
+		{"malformed wrong suffix", "cr9.fra.example360.org", "example360.net", "", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			loc, ok := rs.Geolocate(tc.host, tc.suffix, d)
+			if ok != tc.wantOK {
+				t.Fatalf("Geolocate(%q) ok = %v, want %v", tc.host, ok, tc.wantOK)
+			}
+			if ok && loc.City != tc.wantCity {
+				t.Errorf("Geolocate(%q) = %s, want %s", tc.host, loc.City, tc.wantCity)
+			}
+		})
+	}
+}
+
 func TestDRoPNoCustomHints(t *testing.T) {
 	corpus, m, d, list := buildTrainingWorld(t)
 	rs := Learn(corpus, list, d, m)

@@ -117,6 +117,42 @@ func TestNoCustomHints(t *testing.T) {
 	}
 }
 
+// TestGeolocateTable sweeps Geolocate over the hit / miss / malformed
+// input space against one honest Frankfurt router.
+func TestGeolocateTable(t *testing.T) {
+	d := geodict.MustDefault()
+	m := testMatrix(d)
+	fra := d.Place("frankfurt am main")[0]
+	for _, vp := range m.VPs() {
+		_ = m.SetPing("R1", vp.Name, rtt.Sample{
+			RTTms: geo.MinRTTms(vp.Pos, fra.Pos)*1.3 + 1})
+	}
+	h := New(DefaultConfig(), d, m)
+	cases := []struct {
+		name, router, host, suffix string
+		wantCity                   string
+		wantOK                     bool
+	}{
+		{"hit iata", "R1", "cr1.fra1.example.net", "example.net", "frankfurt am main", true},
+		{"miss no dictionary token", "R1", "xx0.yy1.example.net", "example.net", "", false},
+		{"miss blocklisted only", "R1", "eth0.core.example.net", "example.net", "", false},
+		{"miss router without samples", "R9", "cr1.fra1.example.net", "example.net", "", false},
+		{"malformed wrong suffix", "R1", "cr1.fra1.other.org", "example.net", "", false},
+		{"malformed empty host", "R1", "", "example.net", "", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			loc, ok := h.Geolocate(tc.router, tc.host, tc.suffix)
+			if ok != tc.wantOK {
+				t.Fatalf("Geolocate(%q) ok = %v, want %v", tc.host, ok, tc.wantOK)
+			}
+			if ok && loc.City != tc.wantCity {
+				t.Errorf("Geolocate(%q) = %s, want %s", tc.host, loc.City, tc.wantCity)
+			}
+		})
+	}
+}
+
 func TestCandidateTypes(t *testing.T) {
 	d := geodict.MustDefault()
 	m := testMatrix(d)

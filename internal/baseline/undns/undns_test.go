@@ -50,6 +50,40 @@ func TestParseAndGeolocate(t *testing.T) {
 	}
 }
 
+// TestGeolocateTable sweeps Geolocate over the hit / miss / malformed
+// input space with the sample ruleset.
+func TestGeolocateTable(t *testing.T) {
+	d := geodict.MustDefault()
+	rs, err := Parse(strings.NewReader(sampleRules), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name, host, suffix string
+		wantCity           string
+		wantOK             bool
+	}{
+		{"hit ntt clli", "ae-2.r20.sttlwa01.us.bb.gin.ntt.net", "ntt.net", "seattle", true},
+		{"hit he iata", "10ge1-2.core3.fra2.he.net", "he.net", "frankfurt am main", true},
+		{"hit uppercase host", "AE-2.R20.SNJSCA04.US.BB.GIN.NTT.NET", "ntt.net", "san jose", true},
+		{"miss unmapped code", "ae-2.r20.nycmny01.us.bb.gin.ntt.net", "ntt.net", "", false},
+		{"miss unknown suffix", "cr1.fra1.other.org", "other.org", "", false},
+		{"malformed shape", "not-a-router-hostname", "ntt.net", "", false},
+		{"malformed empty host", "", "he.net", "", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			loc, ok := rs.Geolocate(tc.host, tc.suffix)
+			if ok != tc.wantOK {
+				t.Fatalf("Geolocate(%q) ok = %v, want %v", tc.host, ok, tc.wantOK)
+			}
+			if ok && loc.City != tc.wantCity {
+				t.Errorf("Geolocate(%q) = %s, want %s", tc.host, loc.City, tc.wantCity)
+			}
+		})
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	d := geodict.MustDefault()
 	cases := []string{

@@ -16,6 +16,13 @@ type evalCtx struct {
 	in        Inputs
 	cfg       Config
 	overrides map[overrideKey]*geodict.Location
+
+	// evals counts regex applications and rttChecks counts consistency
+	// tests across the whole stage 3-5 lifetime of the context. Plain
+	// fields (an evalCtx belongs to one worker), reported to a span only
+	// once the group finishes.
+	evals     int64
+	rttChecks int64
 }
 
 func newEvalCtx(in Inputs, cfg Config) *evalCtx {
@@ -110,6 +117,7 @@ func (e *evalCtx) outcome(t *Tagged, ext rex.Extraction, matched bool) (Outcome,
 	}
 	consistent := false
 	for _, loc := range locs {
+		e.rttChecks++
 		if e.in.RTT.Consistent(t.RH.Router.ID, loc.Pos, e.cfg.ToleranceMs) {
 			consistent = true
 			break
@@ -171,6 +179,7 @@ func (e *evalCtx) evaluateSet(regexes []*rex.Regex, tagged []*Tagged) ncEval {
 	for hi, t := range tagged {
 		decided := false
 		for ri, r := range regexes {
+			e.evals++
 			ext, ok := r.Match(t.H.Full)
 			if !ok {
 				continue

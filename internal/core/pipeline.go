@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"hoiho/internal/itdk"
+	"hoiho/internal/obs"
 	"hoiho/internal/rex"
 )
 
@@ -28,12 +29,10 @@ type groupResult struct {
 	geolocated    []string
 }
 
-// runGroup executes stages 2-5 on one suffix group — the shared body of
-// Run and RunSuffix.
-func runGroup(tg *tagger, cfg Config, group *itdk.SuffixGroup) *groupResult {
+// tagGroup runs stage 2 — apparent-geohint tagging — over one suffix
+// group. Shared by runGroup and the exported TagSuffix.
+func tagGroup(tg *tagger, group *itdk.SuffixGroup) *groupResult {
 	gr := &groupResult{}
-
-	// Stage 2: tag apparent geohints.
 	for _, rh := range group.Hosts {
 		t := tg.tag(rh)
 		if t == nil {
@@ -45,6 +44,24 @@ func runGroup(tg *tagger, cfg Config, group *itdk.SuffixGroup) *groupResult {
 			gr.taggedRouters = append(gr.taggedRouters, rh.Router.ID)
 		}
 	}
+	return gr
+}
+
+// runGroup executes stages 2-5 on one suffix group — the shared body of
+// Run and RunSuffix. sp is the group's span (nil when tracing is off);
+// stage counters accumulate in plain fields on the tagger and evalCtx
+// and are reported only at stage boundaries, so the per-hostname paths
+// cost nothing extra with tracing disabled.
+func runGroup(tg *tagger, cfg Config, group *itdk.SuffixGroup, sp *obs.Span) *groupResult {
+	// Stage 2: tag apparent geohints.
+	s2 := sp.Child("stage2")
+	tg.rttChecks = 0
+	gr := tagGroup(tg, group)
+	s2.Count("hostnames", int64(len(group.Hosts)))
+	s2.Count("hostnames_parsed", int64(len(gr.tagged)))
+	s2.Count("hostnames_tagged", int64(len(gr.taggedRouters)))
+	s2.Count("rtt_checks", tg.rttChecks)
+	s2.End()
 	if !gr.anyTag {
 		return gr
 	}
@@ -52,9 +69,15 @@ func runGroup(tg *tagger, cfg Config, group *itdk.SuffixGroup) *groupResult {
 	// Stage 3: build and evaluate candidate regexes; stage 4: learn
 	// operator geohints from every qualifying candidate NC; re-select
 	// with overrides in effect.
+	s3 := sp.Child("learn")
 	pool := generateCandidates(gr.tagged, cfg.MaxCandidates)
 	e := newEvalCtx(tg.in, cfg)
 	set, ev, learned := learnAndSelect(group.Suffix, pool, gr.tagged, e, cfg)
+	s3.Count("candidates", int64(len(pool)))
+	s3.Count("evaluations", e.evals)
+	s3.Count("rtt_checks", e.rttChecks)
+	s3.Count("learned_hints", int64(len(learned)))
+	s3.End()
 	if set == nil {
 		return gr
 	}
@@ -104,6 +127,10 @@ func Run(in Inputs, cfg Config) (*Result, error) {
 	groups := in.Corpus.GroupBySuffix(in.PSL)
 	outcomes := make([]*groupResult, len(groups))
 
+	root := cfg.Tracer.Start("run")
+	root.Count("suffix_groups", int64(len(groups)))
+	compiled0, probed0 := rex.CompileCounts()
+
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -114,20 +141,20 @@ func Run(in Inputs, cfg Config) (*Result, error) {
 	if workers <= 1 {
 		tg := &tagger{in: in, cfg: cfg}
 		for i, group := range groups {
-			outcomes[i] = runGroup(tg, cfg, group)
+			outcomes[i] = runTracedGroup(tg, cfg, group, root, 1)
 		}
 	} else {
 		next := make(chan int)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(wid int) {
 				defer wg.Done()
 				tg := &tagger{in: in, cfg: cfg}
 				for i := range next {
-					outcomes[i] = runGroup(tg, cfg, groups[i])
+					outcomes[i] = runTracedGroup(tg, cfg, groups[i], root, wid)
 				}
-			}()
+			}(w + 1)
 		}
 		for i := range groups {
 			next <- i
@@ -135,6 +162,11 @@ func Run(in Inputs, cfg Config) (*Result, error) {
 		close(next)
 		wg.Wait()
 	}
+
+	compiled1, probed1 := rex.CompileCounts()
+	root.Count("regexes_compiled", compiled1-compiled0)
+	root.Count("probes_compiled", probed1-probed0)
+	defer root.End()
 
 	// Merge per-suffix outcomes. GroupBySuffix returns groups sorted by
 	// suffix, so iterating outcomes in index order is deterministic no
@@ -167,6 +199,18 @@ func Run(in Inputs, cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// runTracedGroup wraps runGroup in its per-suffix span, attributed to
+// worker slot wid. With tracing disabled the Child/SetKey/SetWorker/End
+// calls are nil no-ops.
+func runTracedGroup(tg *tagger, cfg Config, group *itdk.SuffixGroup, root *obs.Span, wid int) *groupResult {
+	sp := root.Child("group")
+	sp.SetKey(group.Suffix)
+	sp.SetWorker(wid)
+	gr := runGroup(tg, cfg, group, sp)
+	sp.End()
+	return gr
+}
+
 // RunSuffix runs stages 2-5 for a single suffix group already extracted
 // from a corpus — the unit the examples and unit tests exercise. It
 // shares runGroup with Run, so a suffix where stage 2 tags no hostname
@@ -180,8 +224,29 @@ func RunSuffix(in Inputs, cfg Config, suffix string) (*NamingConvention, []*Tagg
 		if group.Suffix != suffix {
 			continue
 		}
-		gr := runGroup(tg, cfg, group)
+		sp := cfg.Tracer.Start("group")
+		sp.SetKey(group.Suffix)
+		gr := runGroup(tg, cfg, group, sp)
+		sp.End()
 		return gr.nc, gr.tagged, nil
 	}
 	return nil, nil, fmt.Errorf("core: suffix %q not in corpus", suffix)
+}
+
+// TagSuffix runs stage 2 alone — parse and apparent-geohint tagging —
+// over a single suffix group, returning every parseable hostname with
+// its tags. It exists so benchmarks and diagnostics can measure the
+// tagging stage in isolation from regex learning.
+func TagSuffix(in Inputs, cfg Config, suffix string) ([]*Tagged, error) {
+	if in.Dict == nil || in.PSL == nil || in.Corpus == nil || in.RTT == nil {
+		return nil, fmt.Errorf("core: incomplete inputs")
+	}
+	tg := &tagger{in: in, cfg: cfg}
+	for _, group := range in.Corpus.GroupBySuffix(in.PSL) {
+		if group.Suffix != suffix {
+			continue
+		}
+		return tagGroup(tg, group).tagged, nil
+	}
+	return nil, fmt.Errorf("core: suffix %q not in corpus", suffix)
 }

@@ -45,6 +45,11 @@ func (t *Tagged) HasTags() bool { return len(t.Apparent) > 0 }
 type tagger struct {
 	in  Inputs
 	cfg Config
+
+	// rttChecks counts speed-of-light consistency tests since the last
+	// reset. A plain int on the per-worker tagger, reported to a span
+	// only at group boundaries, so counting costs the hot path nothing.
+	rttChecks int64
 }
 
 // tag parses and tags a single router hostname. It returns nil when the
@@ -61,6 +66,7 @@ func (tg *tagger) tag(rh itdk.RouterHostname) *Tagged {
 		return t
 	}
 	consistent := func(loc *geodict.Location) bool {
+		tg.rttChecks++
 		return tg.in.RTT.Consistent(rh.Router.ID, loc.Pos, tg.cfg.ToleranceMs)
 	}
 

@@ -17,6 +17,7 @@ import (
 
 	"hoiho/internal/geodict"
 	"hoiho/internal/itdk"
+	"hoiho/internal/obs"
 	"hoiho/internal/psl"
 	"hoiho/internal/rex"
 	"hoiho/internal/rtt"
@@ -83,6 +84,12 @@ type Config struct {
 	// design-choice ablation DESIGN.md §4 calls out.
 	LearnRankFacility   bool
 	LearnRankPopulation bool
+
+	// Tracer, when non-nil, records hierarchical spans and counters for
+	// the run (see internal/obs). The nil default disables tracing at
+	// zero cost: instrumentation points call nil-safe no-ops and the hot
+	// paths allocate nothing extra.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns the thresholds from the paper.

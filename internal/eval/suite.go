@@ -21,12 +21,18 @@ type Suite struct {
 // is unaffected by cfg, so results differ across configurations only as
 // the pipeline thresholds dictate. Callers without threshold overrides
 // pass core.DefaultConfig().
+//
+// When cfg.Tracer is set, each world records an "eval-world" span keyed
+// by the world name with a "generate" child covering synthesis, and the
+// pipeline's own "run" spans land in the same tracer.
 func Run(names []string, scale float64, cfg core.Config) (*Suite, error) {
 	if scale <= 0 {
 		scale = 1
 	}
 	s := &Suite{}
 	for _, name := range names {
+		ws := cfg.Tracer.Start("eval-world")
+		ws.SetKey(name)
 		p, err := synth.ITDKPreset(name)
 		if err != nil {
 			return nil, err
@@ -37,15 +43,20 @@ func Run(names []string, scale float64, cfg core.Config) (*Suite, error) {
 		if p.SpoofVPs >= p.VPs {
 			p.SpoofVPs = 0
 		}
+		gs := ws.Child("generate")
 		w, err := synth.Generate(p)
 		if err != nil {
 			return nil, err
 		}
 		w.CleanSpoofers()
+		gs.Count("routers", int64(w.Inputs().Corpus.Len()))
+		gs.End()
 		res, err := core.Run(w.Inputs(), cfg)
 		if err != nil {
 			return nil, fmt.Errorf("eval: pipeline on %s: %w", name, err)
 		}
+		ws.Count("suffixes_learned", int64(len(res.NCs)))
+		ws.End()
 		s.Worlds = append(s.Worlds, w)
 		s.Results = append(s.Results, res)
 	}

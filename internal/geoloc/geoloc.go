@@ -26,7 +26,9 @@ import (
 
 	"hoiho/internal/core"
 	"hoiho/internal/geodict"
+	"hoiho/internal/obs"
 	"hoiho/internal/psl"
+	"hoiho/internal/rex"
 )
 
 // DefaultCacheSize is the result-cache bound used when Options.CacheSize
@@ -48,6 +50,11 @@ type Options struct {
 	// CacheSize bounds the LRU result cache in entries. 0 means
 	// DefaultCacheSize; negative disables caching.
 	CacheSize int
+	// Tracer, when non-nil, records a compile span at New and per-batch
+	// spans in LookupBatch. Single-hostname Lookup is deliberately not
+	// spanned — it is the nanosecond-scale hot path — but all its work
+	// still lands in the atomic Stats counters.
+	Tracer *obs.Tracer
 }
 
 // hintKey identifies a learned-geohint overlay entry.
@@ -67,10 +74,11 @@ type convention struct {
 // geolocate hostnames. Build one with New; methods are safe for
 // concurrent use.
 type Index struct {
-	dict  *geodict.Dictionary
-	list  *psl.List
-	convs map[string]*convention
-	cache *cache // nil when disabled
+	dict   *geodict.Dictionary
+	list   *psl.List
+	convs  map[string]*convention
+	cache  *cache      // nil when disabled
+	tracer *obs.Tracer // nil when tracing disabled
 
 	lookups     atomic.Uint64
 	cacheHits   atomic.Uint64
@@ -103,7 +111,9 @@ func New(res *core.Result, opts Options) (*Index, error) {
 			return nil, err
 		}
 	}
-	ix := &Index{dict: dict, list: list, convs: make(map[string]*convention, len(res.NCs))}
+	sp := opts.Tracer.Start("geoloc-compile")
+	compiled0, _ := rex.CompileCounts()
+	ix := &Index{dict: dict, list: list, convs: make(map[string]*convention, len(res.NCs)), tracer: opts.Tracer}
 	for suffix, nc := range res.NCs {
 		if nc == nil || (opts.UsableOnly && !nc.Class.Usable()) {
 			continue
@@ -129,6 +139,10 @@ func New(res *core.Result, opts Options) (*Index, error) {
 	if size > 0 {
 		ix.cache = newCache(size)
 	}
+	compiled1, _ := rex.CompileCounts()
+	sp.Count("conventions", int64(len(ix.convs)))
+	sp.Count("regexes_compiled", compiled1-compiled0)
+	sp.End()
 	return ix, nil
 }
 
@@ -167,31 +181,55 @@ func (ix *Index) Convention(suffix string) *core.NamingConvention {
 // is shared with the cache and must not be mutated.
 func (ix *Index) Lookup(hostname string) (*core.Geolocation, bool) {
 	ix.lookups.Add(1)
-	host := normalize(hostname)
+	g, _ := ix.lookup(normalize(hostname))
+	return g, g != nil
+}
+
+// lookup runs the cache-then-locate path for an already-normalized
+// hostname, reporting whether the answer came from the cache so batch
+// callers can count hits locally (reading the shared atomic counters
+// per-batch would race with concurrent batches).
+func (ix *Index) lookup(host string) (g *core.Geolocation, cacheHit bool) {
 	if ix.cache != nil {
 		if g, ok := ix.cache.get(host); ok {
 			ix.cacheHits.Add(1)
 			ix.count(g)
-			return g, g != nil
+			return g, true
 		}
 		ix.cacheMisses.Add(1)
 	}
-	g := ix.locate(host)
+	g = ix.locate(host)
 	if ix.cache != nil {
 		ix.cache.put(host, g)
 	}
 	ix.count(g)
-	return g, g != nil
+	return g, false
 }
 
 // LookupBatch geolocates hostnames in order. The result slice is
 // aligned with the input; entries are nil where the hostname did not
-// resolve. Safe to call from many goroutines concurrently.
+// resolve. Safe to call from many goroutines concurrently. When the
+// index was built with a tracer, each batch records a span counting
+// hostnames, located answers, and cache hits.
 func (ix *Index) LookupBatch(hostnames []string) []*core.Geolocation {
+	sp := ix.tracer.Start("lookup-batch")
 	out := make([]*core.Geolocation, len(hostnames))
+	var located, hits int64
 	for i, h := range hostnames {
-		out[i], _ = ix.Lookup(h)
+		ix.lookups.Add(1)
+		g, hit := ix.lookup(normalize(h))
+		out[i] = g
+		if g != nil {
+			located++
+		}
+		if hit {
+			hits++
+		}
 	}
+	sp.Count("hostnames", int64(len(hostnames)))
+	sp.Count("located", located)
+	sp.Count("cache_hits", hits)
+	sp.End()
 	return out
 }
 

@@ -1,0 +1,83 @@
+package geoloc
+
+import (
+	"bytes"
+	"testing"
+
+	"hoiho/internal/core"
+	"hoiho/internal/obs"
+)
+
+// TestTracedIndex checks the serving-side spans: a geoloc-compile span
+// at New with the build-time regex count, and per-batch lookup spans
+// whose locally-counted hostnames/located/cache_hits match the batch's
+// actual results.
+func TestTracedIndex(t *testing.T) {
+	tr := obs.New(obs.Options{RetainSpans: true})
+	ix := newTestIndex(t, Options{Tracer: tr})
+
+	first := ix.LookupBatch(probeHosts)
+	located := int64(0)
+	for _, g := range first {
+		if g != nil {
+			located++
+		}
+	}
+	ix.LookupBatch(probeHosts) // identical second batch: all cache hits
+
+	var compile, batches []obs.TraceRecord
+	for _, r := range tr.Export() {
+		switch r.Name {
+		case "geoloc-compile":
+			compile = append(compile, r)
+		case "lookup-batch":
+			batches = append(batches, r)
+		}
+	}
+	if len(compile) != 1 {
+		t.Fatalf("exported %d geoloc-compile spans, want 1", len(compile))
+	}
+	if compile[0].Counters["conventions"] != int64(ix.Len()) {
+		t.Errorf("compile span conventions = %d, want %d", compile[0].Counters["conventions"], ix.Len())
+	}
+	// The live fixture Result's regex caches are already warm from the
+	// pipeline run, so this compile span legitimately counts zero new
+	// compilations. A Result read back from the published format has
+	// cold caches: its build must count every regex.
+	res, dict, list := learnFixture(t)
+	var buf bytes.Buffer
+	if err := core.WriteConventions(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := core.ReadConventions(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldTr := obs.New(obs.Options{RetainSpans: true})
+	if _, err := New(cold, Options{Dict: dict, PSL: list, Tracer: coldTr}); err != nil {
+		t.Fatal(err)
+	}
+	coldRecs := coldTr.Export()
+	if len(coldRecs) != 1 || coldRecs[0].Counters["regexes_compiled"] == 0 {
+		t.Errorf("cold-cache build spans = %+v, want one span counting compiles", coldRecs)
+	}
+	if len(batches) != 2 {
+		t.Fatalf("exported %d lookup-batch spans, want 2", len(batches))
+	}
+	for i, b := range batches {
+		if b.Counters["hostnames"] != int64(len(probeHosts)) {
+			t.Errorf("batch %d hostnames = %d, want %d", i, b.Counters["hostnames"], len(probeHosts))
+		}
+		if b.Counters["located"] != located {
+			t.Errorf("batch %d located = %d, want %d", i, b.Counters["located"], located)
+		}
+	}
+	// probeHosts holds one case-variant duplicate that normalizes to an
+	// earlier entry, so even the cold batch scores exactly one hit.
+	if batches[0].Counters["cache_hits"] != 1 {
+		t.Errorf("cold batch cache_hits = %d, want 1 (the normalized duplicate)", batches[0].Counters["cache_hits"])
+	}
+	if hits := batches[1].Counters["cache_hits"]; hits != int64(len(probeHosts)) {
+		t.Errorf("warm batch cache_hits = %d, want %d", hits, len(probeHosts))
+	}
+}

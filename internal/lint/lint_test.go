@@ -293,6 +293,74 @@ func withResult(f func() error) error {
 	}
 }
 
+// TestNakedgoStructFieldWaitGroup covers the struct-field pattern: the
+// spawning method registers with s.wg.Add and the matching Wait lives
+// in another method. The Add on a (possibly embedded or pointer-held)
+// sync.WaitGroup is join evidence; the spawn must not be flagged.
+func TestNakedgoStructFieldWaitGroup(t *testing.T) {
+	src := `package fix
+
+import "sync"
+
+type server struct {
+	wg sync.WaitGroup
+}
+
+func (s *server) start(loop func()) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		loop()
+	}()
+}
+
+// The harder shape: the goroutine body is a method call, so the Done
+// is invisible here — only the Add accounts for the spawn.
+func (s *server) startOpaque(loop func()) {
+	s.wg.Add(1)
+	go loop()
+}
+
+type holder struct {
+	wg *sync.WaitGroup
+}
+
+// Pointer-held WaitGroup field counts too.
+func (h *holder) launch(f func()) {
+	h.wg.Add(1)
+	go f()
+}
+
+func (s *server) close() {
+	s.wg.Wait()
+}
+`
+	if diags := runCheck(t, Nakedgo(), "nakedgo_structwg.go", src); len(diags) != 0 {
+		t.Fatalf("struct-field WaitGroup join flagged: %v", diags)
+	}
+}
+
+// TestNakedgoNonWaitGroupAdd is the counter-fixture: an Add call on
+// something that is not a sync.WaitGroup (an atomic counter here) is
+// not join discipline, so the naked spawn is still flagged.
+func TestNakedgoNonWaitGroupAdd(t *testing.T) {
+	src := `package fix
+
+import "sync/atomic"
+
+type stats struct {
+	launched atomic.Int64
+}
+
+func (s *stats) fire(f func()) {
+	s.launched.Add(1)
+	go f()
+}
+`
+	diags := runCheck(t, Nakedgo(), "nakedgo_counteradd.go", src)
+	wantFindings(t, diags, "nakedgo", 11)
+}
+
 func TestRandsourceFlagged(t *testing.T) {
 	src := `package fix
 

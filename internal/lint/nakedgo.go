@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 )
 
 // Nakedgo flags `go` statements launched without any visible join or
@@ -14,6 +15,9 @@ import (
 // function (including the goroutine body itself):
 //
 //   - a Wait or Done call (sync.WaitGroup, errgroup.Group, ctx.Done)
+//   - an Add call on a value whose type is sync.WaitGroup — the spawn
+//     is registered with a group whose Wait lives in another method
+//     (the struct-field WaitGroup pattern)
 //   - a channel receive or a select statement (completion signalling)
 //   - a range over a channel (draining results)
 //
@@ -42,7 +46,7 @@ func checkNakedgoFunc(pass *Pass, fn funcNode) {
 			spawns = append(spawns, g)
 		}
 	})
-	if len(spawns) == 0 || hasJoinEvidence(fn.body) {
+	if len(spawns) == 0 || hasJoinEvidence(pass, fn.body) {
 		return
 	}
 	for _, g := range spawns {
@@ -53,7 +57,7 @@ func checkNakedgoFunc(pass *Pass, fn funcNode) {
 // hasJoinEvidence scans the whole function body, nested literals
 // included — the Done call that accounts for a spawn usually lives
 // inside the goroutine's own literal.
-func hasJoinEvidence(body *ast.BlockStmt) bool {
+func hasJoinEvidence(pass *Pass, body *ast.BlockStmt) bool {
 	if callsMethodNamed(body, "Wait", "Done") {
 		return true
 	}
@@ -69,6 +73,16 @@ func hasJoinEvidence(body *ast.BlockStmt) bool {
 			if n.Op.String() == "<-" {
 				found = true
 			}
+		case *ast.CallExpr:
+			// wg.Add(n) registers the spawn with a WaitGroup even when
+			// the matching Wait lives in another method (the struct-field
+			// pattern: s.wg.Add(1); go s.loop() with Wait in Close).
+			// Type-checked so an unrelated Add — a metrics counter, a
+			// custom set — is not mistaken for join discipline.
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Add" &&
+				isWaitGroup(pass.TypeOf(sel.X)) {
+				found = true
+			}
 		case *ast.RangeStmt:
 			// Ranging over a channel is a receive; without type info we
 			// cannot tell, so any range does not count — receives and
@@ -77,4 +91,20 @@ func hasJoinEvidence(body *ast.BlockStmt) bool {
 		return !found
 	})
 	return found
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup or *sync.WaitGroup.
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
 }

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SummaryRow aggregates all finished spans sharing a stage name (or,
+// in the per-key table, a key).
+type SummaryRow struct {
+	Name     string           `json:"name"`
+	Count    int64            `json:"count"`
+	TotalUS  int64            `json:"total_us"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// Summary is the aggregated view of a trace: one table keyed by span
+// name (the pipeline stages) and one keyed by span key (suffixes,
+// routes, worlds). Both are sorted by total time descending, then name,
+// so the hottest rows lead.
+type Summary struct {
+	Stages []SummaryRow `json:"stages"`
+	Keys   []SummaryRow `json:"keys,omitempty"`
+}
+
+// Summary snapshots the tracer's aggregates. Works on any tracer,
+// including aggregate-only ones; a nil tracer yields an empty summary.
+func (t *Tracer) Summary() Summary {
+	if t == nil {
+		return Summary{}
+	}
+	t.mu.Lock()
+	stages := rowsFrom(t.agg)
+	keys := rowsFrom(t.keyAgg)
+	t.mu.Unlock()
+	return Summary{Stages: stages, Keys: keys}
+}
+
+func rowsFrom(m map[string]*aggregate) []SummaryRow {
+	rows := make([]SummaryRow, 0, len(m))
+	for name, a := range m {
+		row := SummaryRow{Name: name, Count: a.count, TotalUS: a.totalN / 1000}
+		if len(a.counts) > 0 {
+			row.Counters = make(map[string]int64, len(a.counts))
+			for k, v := range a.counts {
+				row.Counters[k] = v
+			}
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].TotalUS != rows[j].TotalUS {
+			return rows[i].TotalUS > rows[j].TotalUS
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows
+}
+
+// Format renders the summary as an aligned text table for terminal
+// output (the -tracesummary flag).
+func (s Summary) Format(w io.Writer) error {
+	if err := formatRows(w, "stage", s.Stages); err != nil {
+		return err
+	}
+	if len(s.Keys) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	return formatRows(w, "key", s.Keys)
+}
+
+func formatRows(w io.Writer, header string, rows []SummaryRow) error {
+	nameW, countW := len(header), len("count")
+	for _, r := range rows {
+		if len(r.Name) > nameW {
+			nameW = len(r.Name)
+		}
+		if n := len(fmt.Sprintf("%d", r.Count)); n > countW {
+			countW = n
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-*s  %*s  %12s  counters\n", nameW, header, countW, "count", "total"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		total := time.Duration(r.TotalUS) * time.Microsecond
+		if _, err := fmt.Fprintf(w, "%-*s  %*d  %12s  %s\n",
+			nameW, r.Name, countW, r.Count, total, formatCounters(r.Counters)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatCounters(m map[string]int64) string {
+	if len(m) == 0 {
+		return "-"
+	}
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, k := range names {
+		parts[i] = fmt.Sprintf("%s=%d", k, m[k])
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,19 @@
+package rex
+
+import "sync/atomic"
+
+// Package-wide compile counters. Regex caches its compiled forms behind
+// sync.Once, so each counter increments at most once per Regex value —
+// the counts measure real regexp.Compile work, not Match calls. The
+// observability layer reads these as deltas around a pipeline run;
+// being process-global, deltas overlap when runs execute concurrently.
+var (
+	compiledTotal atomic.Int64
+	probedTotal   atomic.Int64
+)
+
+// CompileCounts returns how many match regexes and probe regexes have
+// been compiled process-wide since start.
+func CompileCounts() (compiled, probed int64) {
+	return compiledTotal.Load(), probedTotal.Load()
+}

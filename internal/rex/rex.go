@@ -232,6 +232,7 @@ func (r *Regex) String() string {
 // Compile returns the compiled regex, caching the result.
 func (r *Regex) Compile() (*regexp.Regexp, error) {
 	r.compileOnce.Do(func() {
+		compiledTotal.Add(1)
 		re, err := regexp.Compile(r.String())
 		if err != nil {
 			r.compileErr = fmt.Errorf("rex: compile %q: %w", r.String(), err)
@@ -302,6 +303,7 @@ func (r *Regex) probeRegexp() (*regexp.Regexp, error) {
 			pc.render(&b)
 		}
 		b.WriteByte('$')
+		probedTotal.Add(1)
 		re, err := regexp.Compile(b.String())
 		if err != nil {
 			r.probeErr = fmt.Errorf("rex: compile probe %q: %w", b.String(), err)

@@ -1,0 +1,955 @@
+node.geo transitnet.net-N1: 39.0438 -77.4874 ashburn|va|us
+node.geo transitnet.net-N2: 39.0438 -77.4874 ashburn|va|us
+node.geo transitnet.net-N3: 43.6532 -79.3832 toronto|on|ca
+node.geo transitnet.net-N4: 43.6532 -79.3832 toronto|on|ca
+node.geo transitnet.net-N5: 43.6532 -79.3832 toronto|on|ca
+node.geo transitnet.net-N6: 43.6532 -79.3832 toronto|on|ca
+node.geo transitnet.net-N7: 43.6532 -79.3832 toronto|on|ca
+node.geo transitnet.net-N8: 43.6532 -79.3832 toronto|on|ca
+node.geo transitnet.net-N9: 35.6762 139.6503 tokyo||jp
+node.geo transitnet.net-N10: 35.6762 139.6503 tokyo||jp
+node.geo transitnet.net-N11: 35.6762 139.6503 tokyo||jp
+node.geo transitnet.net-N12: 35.6762 139.6503 tokyo||jp
+node.geo transitnet.net-N13: 35.6762 139.6503 tokyo||jp
+node.geo transitnet.net-N14: 35.6762 139.6503 tokyo||jp
+node.geo transitnet.net-N15: 51.5074 -0.1278 london||gb
+node.geo transitnet.net-N16: 51.5074 -0.1278 london||gb
+node.geo transitnet.net-N17: 51.5074 -0.1278 london||gb
+node.geo transitnet.net-N18: 31.5204 74.3587 lahore||pk
+node.geo transitnet.net-N19: 31.5204 74.3587 lahore||pk
+node.geo transitnet.net-N20: 31.5204 74.3587 lahore||pk
+node.geo transitnet.net-N21: 31.5204 74.3587 lahore||pk
+node.geo transitnet.net-N22: 51.5136 7.4653 dortmund|nw|de
+node.geo transitnet.net-N23: 51.5136 7.4653 dortmund|nw|de
+node.geo transitnet.net-N24: 51.5136 7.4653 dortmund|nw|de
+node.geo transitnet.net-N25: 51.5136 7.4653 dortmund|nw|de
+node.geo transitnet.net-N26: 51.5136 7.4653 dortmund|nw|de
+node.geo transitnet.net-N27: 25.6866 -100.3161 monterrey||mx
+node.geo transitnet.net-N28: 25.6866 -100.3161 monterrey||mx
+node.geo transitnet.net-N29: 25.6866 -100.3161 monterrey||mx
+node.geo transitnet.net-N30: 25.6866 -100.3161 monterrey||mx
+node.geo transitnet.net-N31: 25.6866 -100.3161 monterrey||mx
+node.geo transitnet.net-N32: 48.8566 2.3522 paris||fr
+node.geo transitnet.net-N33: 48.8566 2.3522 paris||fr
+node.geo transitnet.net-N34: 48.8566 2.3522 paris||fr
+node.geo transitnet.net-N35: 48.8566 2.3522 paris||fr
+node.geo transitnet.net-N36: 10.8231 106.6297 ho chi minh city||vn
+node.geo transitnet.net-N37: 10.8231 106.6297 ho chi minh city||vn
+node.geo transitnet.net-N38: 51.5136 7.4653 dortmund|nw|de
+node.geo transitnet.net-N39: 51.5136 7.4653 dortmund|nw|de
+node.geo transitnet.net-N40: 51.5136 7.4653 dortmund|nw|de
+node.geo transitnet.net-N41: 16.8661 96.1951 yangon||mm
+node.geo transitnet.net-N42: 16.8661 96.1951 yangon||mm
+node.geo transitnet.net-N43: 16.8661 96.1951 yangon||mm
+node.geo transitnet.net-N44: 16.8661 96.1951 yangon||mm
+node.geo transitnet.net-N45: 19.8301 -90.5349 campeche||mx
+node.geo transitnet.net-N46: 19.8301 -90.5349 campeche||mx
+node.geo transitnet.net-N47: 19.8301 -90.5349 campeche||mx
+node.geo transitnet.net-N48: 54.3520 18.6466 gdansk||pl
+node.geo transitnet.net-N49: 54.3520 18.6466 gdansk||pl
+node.geo transitnet.net-N50: 54.3520 18.6466 gdansk||pl
+node.geo transitnet.net-N51: 54.3520 18.6466 gdansk||pl
+node.geo transitnet.net-N52: 54.3520 18.6466 gdansk||pl
+node.geo transitnet.net-N53: 54.3520 18.6466 gdansk||pl
+node.geo transitnet.net-N54: 44.5133 -88.0133 green bay|wi|us
+node.geo transitnet.net-N55: 44.5133 -88.0133 green bay|wi|us
+node.geo transitnet.net-N56: 44.5133 -88.0133 green bay|wi|us
+node.geo transitnet.net-N57: 44.5133 -88.0133 green bay|wi|us
+node.geo transitnet.net-N58: 44.5133 -88.0133 green bay|wi|us
+node.geo transitnet.net-N59: 44.5133 -88.0133 green bay|wi|us
+node.geo transitnet.net-N60: 43.2141 27.9147 varna||bg
+node.geo transitnet.net-N61: 43.2141 27.9147 varna||bg
+node.geo transitnet.net-N62: 43.2141 27.9147 varna||bg
+node.geo transitnet.net-N63: 43.2141 27.9147 varna||bg
+node.geo transitnet.net-N64: 43.2141 27.9147 varna||bg
+node.geo transitnet.net-N65: 43.2141 27.9147 varna||bg
+node.geo transitnet.net-N66: 43.7696 11.2558 florence||it
+node.geo transitnet.net-N67: 43.7696 11.2558 florence||it
+node.geo transitnet.net-N68: 43.7696 11.2558 florence||it
+node.geo transitnet.net-N69: 43.7696 11.2558 florence||it
+node.geo transitnet.net-N70: 43.7696 11.2558 florence||it
+node.geo transitnet.net-N71: 43.7696 11.2558 florence||it
+node.geo transitnet.net-N72: -34.6037 -58.3816 buenos aires||ar
+node.geo transitnet.net-N73: -34.6037 -58.3816 buenos aires||ar
+node.geo transitnet.net-N74: -34.6037 -58.3816 buenos aires||ar
+node.geo transitnet.net-N75: 41.6528 -83.5379 toledo|oh|us
+node.geo transitnet.net-N76: 41.6528 -83.5379 toledo|oh|us
+node.geo transitnet.net-N77: 41.6528 -83.5379 toledo|oh|us
+node.geo transitnet.net-N78: 41.6528 -83.5379 toledo|oh|us
+node.geo transitnet.net-N79: 41.6528 -83.5379 toledo|oh|us
+node.geo transitnet.net-N80: 48.1486 17.1077 bratislava||sk
+node.geo transitnet.net-N81: 48.1486 17.1077 bratislava||sk
+node.geo transitnet.net-N82: 5.4164 100.3327 penang||my
+node.geo transitnet.net-N83: 5.4164 100.3327 penang||my
+node.geo transitnet.net-N84: 5.4164 100.3327 penang||my
+node.geo transitnet.net-N85: 5.4164 100.3327 penang||my
+node.geo transitnet.net-N86: 5.4164 100.3327 penang||my
+node.geo transitnet.net-N87: 5.4164 100.3327 penang||my
+node.geo transitnet.net-N88: 51.0504 13.7373 dresden|sn|de
+node.geo transitnet.net-N89: 51.0504 13.7373 dresden|sn|de
+node.geo transitnet.net-N90: 51.0504 13.7373 dresden|sn|de
+node.geo transitnet.net-N91: 51.0504 13.7373 dresden|sn|de
+node.geo transitnet.net-N92: 51.0504 13.7373 dresden|sn|de
+node.geo transitnet.net-N93: -12.9777 -38.5016 salvador|ba|br
+node.geo transitnet.net-N94: -12.9777 -38.5016 salvador|ba|br
+node.geo transitnet.net-N95: -12.9777 -38.5016 salvador|ba|br
+node.geo transitnet.net-N96: -12.9777 -38.5016 salvador|ba|br
+node.geo transitnet.net-N97: -12.9777 -38.5016 salvador|ba|br
+node.geo transitnet.net-N98: -12.9777 -38.5016 salvador|ba|br
+node.geo transitnet.net-N99: 45.4408 12.3155 venice||it
+node.geo transitnet.net-N100: 45.4408 12.3155 venice||it
+node.geo transitnet.net-N101: 45.4408 12.3155 venice||it
+node.geo transitnet.net-N102: 41.9973 21.4280 skopje||mk
+node.geo transitnet.net-N103: 41.9973 21.4280 skopje||mk
+node.geo transitnet.net-N104: 41.9973 21.4280 skopje||mk
+node.geo transitnet.net-N105: 41.9973 21.4280 skopje||mk
+node.geo coreband.net.au-N1: 37.5407 -77.4360 richmond|va|us
+node.geo coreband.net.au-N2: 37.5407 -77.4360 richmond|va|us
+node.geo coreband.net.au-N3: 37.5407 -77.4360 richmond|va|us
+node.geo coreband.net.au-N4: 37.5407 -77.4360 richmond|va|us
+node.geo coreband.net.au-N5: 37.5407 -77.4360 richmond|va|us
+node.geo coreband.net.au-N6: 37.5407 -77.4360 richmond|va|us
+node.geo coreband.net.au-N7: 37.5407 -77.4360 richmond|va|us
+node.geo coreband.net.au-N8: 38.7223 -9.1393 lisbon||pt
+node.geo coreband.net.au-N9: 38.7223 -9.1393 lisbon||pt
+node.geo coreband.net.au-N10: 38.7223 -9.1393 lisbon||pt
+node.geo coreband.net.au-N11: 38.7223 -9.1393 lisbon||pt
+node.geo coreband.net.au-N12: 38.7223 -9.1393 lisbon||pt
+node.geo coreband.net.au-N13: 38.7223 -9.1393 lisbon||pt
+node.geo coreband.net.au-N14: 38.7223 -9.1393 lisbon||pt
+node.geo coreband.net.au-N15: 38.7223 -9.1393 lisbon||pt
+node.geo coreband.net.au-N16: 42.9956 -71.4548 manchester|nh|us
+node.geo coreband.net.au-N17: 42.9956 -71.4548 manchester|nh|us
+node.geo coreband.net.au-N18: 42.9956 -71.4548 manchester|nh|us
+node.geo coreband.net.au-N19: 37.5407 -77.4360 richmond|va|us
+node.geo coreband.net.au-N20: 37.5407 -77.4360 richmond|va|us
+node.geo coreband.net.au-N21: 37.5407 -77.4360 richmond|va|us
+node.geo coreband.net.au-N22: 37.5407 -77.4360 richmond|va|us
+node.geo coreband.net.au-N23: 37.5407 -77.4360 richmond|va|us
+node.geo coreband.net.au-N24: 37.5407 -77.4360 richmond|va|us
+node.geo coreband.net.au-N25: 37.5407 -77.4360 richmond|va|us
+node.geo coreband.net.au-N26: 42.2626 -71.8023 worcester|ma|us
+node.geo coreband.net.au-N27: 42.2626 -71.8023 worcester|ma|us
+node.geo coreband.net.au-N28: 42.2626 -71.8023 worcester|ma|us
+node.geo coreband.net.au-N29: 42.2626 -71.8023 worcester|ma|us
+node.geo coreband.net.au-N30: 42.2626 -71.8023 worcester|ma|us
+node.geo coreband.net.au-N31: 35.2271 -80.8431 charlotte|nc|us
+node.geo coreband.net.au-N32: 35.2271 -80.8431 charlotte|nc|us
+node.geo coreband.net.au-N33: 35.2271 -80.8431 charlotte|nc|us
+node.geo coreband.net.au-N34: 35.2271 -80.8431 charlotte|nc|us
+node.geo coreband.net.au-N35: 48.7758 9.1829 stuttgart|bw|de
+node.geo coreband.net.au-N36: 48.7758 9.1829 stuttgart|bw|de
+node.geo coreband.net.au-N37: 48.7758 9.1829 stuttgart|bw|de
+node.geo coreband.net.au-N38: 48.7758 9.1829 stuttgart|bw|de
+node.geo coreband.net.au-N39: 48.7758 9.1829 stuttgart|bw|de
+node.geo coreband.net.au-N40: 29.4241 -98.4936 san antonio|tx|us
+node.geo coreband.net.au-N41: 29.4241 -98.4936 san antonio|tx|us
+node.geo coreband.net.au-N42: 29.4241 -98.4936 san antonio|tx|us
+node.geo coreband.net.au-N43: 29.4241 -98.4936 san antonio|tx|us
+node.geo coreband.net.au-N44: 29.4241 -98.4936 san antonio|tx|us
+node.geo coreband.net.au-N45: 37.7749 -122.4194 san francisco|ca|us
+node.geo coreband.net.au-N46: 37.7749 -122.4194 san francisco|ca|us
+node.geo coreband.net.au-N47: 37.7749 -122.4194 san francisco|ca|us
+node.geo coreband.net.au-N48: 37.7749 -122.4194 san francisco|ca|us
+node.geo coreband.net.au-N49: 37.7749 -122.4194 san francisco|ca|us
+node.geo coreband.net.au-N50: 37.7749 -122.4194 san francisco|ca|us
+node.geo coreband.net.au-N51: 37.7749 -122.4194 san francisco|ca|us
+node.geo coreband.net.au-N52: 34.0007 -81.0348 columbia|sc|us
+node.geo coreband.net.au-N53: 34.0007 -81.0348 columbia|sc|us
+node.geo coreband.net.au-N54: 34.0007 -81.0348 columbia|sc|us
+node.geo coreband.net.au-N55: 34.0007 -81.0348 columbia|sc|us
+node.geo coreband.net.au-N56: 34.0007 -81.0348 columbia|sc|us
+node.geo coreband.net.au-N57: 34.0007 -81.0348 columbia|sc|us
+node.geo coreband.net.au-N58: 52.3676 4.9041 amsterdam||nl
+node.geo coreband.net.au-N59: 52.3676 4.9041 amsterdam||nl
+node.geo coreband.net.au-N60: 52.3676 4.9041 amsterdam||nl
+node.geo coreband.net.au-N61: 52.3676 4.9041 amsterdam||nl
+node.geo coreband.net.au-N62: 28.7041 77.1025 delhi||in
+node.geo coreband.net.au-N63: 28.7041 77.1025 delhi||in
+node.geo coreband.net.au-N64: 28.7041 77.1025 delhi||in
+node.geo coreband.net.au-N65: 28.7041 77.1025 delhi||in
+node.geo coreband.net.au-N66: 28.7041 77.1025 delhi||in
+node.geo coreband.net.au-N67: 53.4808 -2.2426 manchester||gb
+node.geo coreband.net.au-N68: 53.4808 -2.2426 manchester||gb
+node.geo coreband.net.au-N69: 53.4808 -2.2426 manchester||gb
+node.geo coreband.net.au-N70: 41.3851 2.1734 barcelona||es
+node.geo coreband.net.au-N71: 41.3851 2.1734 barcelona||es
+node.geo coreband.net.au-N72: -36.8485 174.7633 auckland||nz
+node.geo coreband.net.au-N73: -36.8485 174.7633 auckland||nz
+node.geo coreband.net.au-N74: -36.8485 174.7633 auckland||nz
+node.geo coreband.net.au-N75: 50.0755 14.4378 prague||cz
+node.geo coreband.net.au-N76: 50.0755 14.4378 prague||cz
+node.geo coreband.net.au-N77: 50.0755 14.4378 prague||cz
+node.geo coreband.net.au-N78: 50.0755 14.4378 prague||cz
+node.geo coreband.net.au-N79: 50.0755 14.4378 prague||cz
+node.geo coreband.net.au-N80: 32.2226 -110.9747 tucson|az|us
+node.geo coreband.net.au-N81: 32.2226 -110.9747 tucson|az|us
+node.geo coreband.net.au-N82: 32.2226 -110.9747 tucson|az|us
+node.geo coreband.net.au-N83: 32.2226 -110.9747 tucson|az|us
+node.geo coreband.net.au-N84: 32.2226 -110.9747 tucson|az|us
+node.geo coreband.net.au-N85: 32.2226 -110.9747 tucson|az|us
+node.geo coreband.net.au-N86: 40.7357 -74.1724 newark|nj|us
+node.geo coreband.net.au-N87: 40.7357 -74.1724 newark|nj|us
+node.geo coreband.net.au-N88: 40.7357 -74.1724 newark|nj|us
+node.geo coreband.net.au-N89: 40.7357 -74.1724 newark|nj|us
+node.geo coreband.net.au-N90: 46.8139 -71.2080 quebec|qc|ca
+node.geo coreband.net.au-N91: 46.8139 -71.2080 quebec|qc|ca
+node.geo coreband.net.au-N92: -33.9249 18.4241 cape town||za
+node.geo coreband.net.au-N93: -33.9249 18.4241 cape town||za
+node.geo coreband.net.au-N94: 33.5186 -86.8104 birmingham|al|us
+node.geo coreband.net.au-N95: 33.5186 -86.8104 birmingham|al|us
+node.geo coreband.net.au-N96: 25.7617 -80.1918 miami|fl|us
+node.geo coreband.net.au-N97: 25.7617 -80.1918 miami|fl|us
+node.geo coreband.net.au-N98: 42.3601 -71.0589 boston|ma|us
+node.geo coreband.net.au-N99: 42.3601 -71.0589 boston|ma|us
+node.geo coreband.net.au-N100: 42.3601 -71.0589 boston|ma|us
+node.geo coreband.net.au-N101: 31.5493 -97.1467 waco|tx|us
+node.geo coreband.net.au-N102: 31.5493 -97.1467 waco|tx|us
+node.geo coreband.net.au-N103: 43.0481 -76.1474 syracuse|ny|us
+node.geo coreband.net.au-N104: 43.0481 -76.1474 syracuse|ny|us
+node.geo coreband.net.au-N105: 43.0481 -76.1474 syracuse|ny|us
+node.geo coreband.net.au-N106: 32.0809 -81.0912 savannah|ga|us
+node.geo coreband.net.au-N107: 32.0809 -81.0912 savannah|ga|us
+node.geo coreband.net.au-N108: 32.0809 -81.0912 savannah|ga|us
+node.geo coreband.net.au-N109: 32.0809 -81.0912 savannah|ga|us
+node.geo coreband.net.au-N110: 32.0809 -81.0912 savannah|ga|us
+node.geo coreband.net.au-N111: 32.0809 -81.0912 savannah|ga|us
+node.geo coreband.net.au-N112: 32.0809 -81.0912 savannah|ga|us
+node.geo coreband.net.au-N113: 32.0809 -81.0912 savannah|ga|us
+node.geo coreband.net.au-N114: 41.7658 -72.6734 hartford|ct|us
+node.geo coreband.net.au-N115: 41.7658 -72.6734 hartford|ct|us
+node.geo coreband.net.au-N116: 41.7658 -72.6734 hartford|ct|us
+node.geo coreband.net.au-N117: 41.7658 -72.6734 hartford|ct|us
+node.geo fiberlink.net-N1: 42.0625 -104.1841 torrington|wy|us
+node.geo fiberlink.net-N2: 42.0625 -104.1841 torrington|wy|us
+node.geo fiberlink.net-N3: 42.0625 -104.1841 torrington|wy|us
+node.geo fiberlink.net-N4: 37.3382 -121.8863 san jose|ca|us
+node.geo fiberlink.net-N5: 37.3382 -121.8863 san jose|ca|us
+node.geo fiberlink.net-N6: 37.3382 -121.8863 san jose|ca|us
+node.geo fiberlink.net-N7: 37.3382 -121.8863 san jose|ca|us
+node.geo fiberlink.net-N8: 37.3382 -121.8863 san jose|ca|us
+node.geo fiberlink.net-N9: -25.2637 -57.5759 asuncion||py
+node.geo fiberlink.net-N10: -25.2637 -57.5759 asuncion||py
+node.geo fiberlink.net-N11: -25.2637 -57.5759 asuncion||py
+node.geo fiberlink.net-N12: -25.2637 -57.5759 asuncion||py
+node.geo fiberlink.net-N13: 29.3759 47.9774 kuwait city||kw
+node.geo fiberlink.net-N14: 29.3759 47.9774 kuwait city||kw
+node.geo fiberlink.net-N15: 29.3759 47.9774 kuwait city||kw
+node.geo fiberlink.net-N16: 29.3759 47.9774 kuwait city||kw
+node.geo fiberlink.net-N17: 29.3759 47.9774 kuwait city||kw
+node.geo fiberlink.net-N18: 38.7223 -9.1393 lisbon||pt
+node.geo fiberlink.net-N19: 38.7223 -9.1393 lisbon||pt
+node.geo fiberlink.net-N20: 38.7223 -9.1393 lisbon||pt
+node.geo fiberlink.net-N21: 38.7223 -9.1393 lisbon||pt
+node.geo fiberlink.net-N22: 45.7833 -108.5007 billings|mt|us
+node.geo fiberlink.net-N23: 45.7833 -108.5007 billings|mt|us
+node.geo fiberlink.net-N24: 45.7833 -108.5007 billings|mt|us
+node.geo fiberlink.net-N25: 45.7833 -108.5007 billings|mt|us
+node.geo fiberlink.net-N26: 45.7833 -108.5007 billings|mt|us
+node.geo fiberlink.net-N27: 45.7833 -108.5007 billings|mt|us
+node.geo fiberlink.net-N28: 33.7490 -84.3880 atlanta|ga|us
+node.geo fiberlink.net-N29: 33.7490 -84.3880 atlanta|ga|us
+node.geo fiberlink.net-N30: 33.7490 -84.3880 atlanta|ga|us
+node.geo fiberlink.net-N31: 12.9716 77.5946 bangalore||in
+node.geo fiberlink.net-N32: 12.9716 77.5946 bangalore||in
+node.geo fiberlink.net-N33: 12.9716 77.5946 bangalore||in
+node.geo fiberlink.net-N34: 12.9716 77.5946 bangalore||in
+node.geo fiberlink.net-N35: 35.0844 -106.6504 albuquerque|nm|us
+node.geo fiberlink.net-N36: 35.0844 -106.6504 albuquerque|nm|us
+node.geo fiberlink.net-N37: 56.9496 24.1052 riga||lv
+node.geo fiberlink.net-N38: 56.9496 24.1052 riga||lv
+node.geo fiberlink.net-N39: 42.9849 -81.2453 london|on|ca
+node.geo fiberlink.net-N40: 42.9849 -81.2453 london|on|ca
+node.geo fiberlink.net-N41: 51.4416 5.4697 eindhoven||nl
+node.geo fiberlink.net-N42: 51.4416 5.4697 eindhoven||nl
+node.geo fiberlink.net-N43: 51.4416 5.4697 eindhoven||nl
+node.geo fiberlink.net-N44: 21.4858 39.1925 jeddah||sa
+node.geo fiberlink.net-N45: 21.4858 39.1925 jeddah||sa
+node.geo fiberlink.net-N46: 21.4858 39.1925 jeddah||sa
+node.geo fiberlink.net-N47: 9.0320 38.7469 addis ababa||et
+node.geo fiberlink.net-N48: 9.0320 38.7469 addis ababa||et
+node.geo fiberlink.net-N49: 9.0320 38.7469 addis ababa||et
+node.geo fiberlink.net-N50: 43.6047 1.4442 toulouse||fr
+node.geo fiberlink.net-N51: 43.6047 1.4442 toulouse||fr
+node.geo fiberlink.net-N52: 24.7136 46.6753 riyadh||sa
+node.geo fiberlink.net-N53: 24.7136 46.6753 riyadh||sa
+node.geo fiberlink.net-N54: 24.7136 46.6753 riyadh||sa
+node.geo fiberlink.net-N55: 24.7136 46.6753 riyadh||sa
+node.geo fiberlink.net-N56: 24.7136 46.6753 riyadh||sa
+node.geo fiberlink.net-N57: 41.2995 69.2401 tashkent||uz
+node.geo fiberlink.net-N58: 41.2995 69.2401 tashkent||uz
+node.geo fiberlink.net-N59: 41.2995 69.2401 tashkent||uz
+node.geo fiberlink.net-N60: 41.2995 69.2401 tashkent||uz
+node.geo fiberlink.net-N61: 41.2995 69.2401 tashkent||uz
+node.geo fiberlink.net-N62: 41.2995 69.2401 tashkent||uz
+node.geo fiberlink.net-N63: 35.2271 -80.8431 charlotte|nc|us
+node.geo fiberlink.net-N64: 35.2271 -80.8431 charlotte|nc|us
+node.geo fiberlink.net-N65: 35.2271 -80.8431 charlotte|nc|us
+node.geo fiberlink.net-N66: 35.2271 -80.8431 charlotte|nc|us
+node.geo fiberlink.net-N67: 35.2271 -80.8431 charlotte|nc|us
+node.geo fiberlink.net-N68: 35.2271 -80.8431 charlotte|nc|us
+node.geo fiberlink.net-N69: 38.9140 121.6147 dalian||cn
+node.geo fiberlink.net-N70: 38.9140 121.6147 dalian||cn
+node.geo fiberlink.net-N71: 38.9140 121.6147 dalian||cn
+node.geo fiberlink.net-N72: 36.1699 -115.1398 las vegas|nv|us
+node.geo fiberlink.net-N73: 36.1699 -115.1398 las vegas|nv|us
+node.geo fiberlink.net-N74: -42.8821 147.3272 hobart|tas|au
+node.geo fiberlink.net-N75: -42.8821 147.3272 hobart|tas|au
+node.geo fiberlink.net-N76: -42.8821 147.3272 hobart|tas|au
+node.geo fiberlink.net-N77: -42.8821 147.3272 hobart|tas|au
+node.geo fiberlink.net-N78: -42.8821 147.3272 hobart|tas|au
+node.geo fiberlink.net-N79: 19.4326 -99.1332 mexico city||mx
+node.geo fiberlink.net-N80: 19.4326 -99.1332 mexico city||mx
+node.geo fiberlink.net-N81: 19.4326 -99.1332 mexico city||mx
+node.geo fiberlink.net-N82: 60.1699 24.9384 helsinki||fi
+node.geo fiberlink.net-N83: 60.1699 24.9384 helsinki||fi
+node.geo fiberlink.net-N84: 60.1699 24.9384 helsinki||fi
+node.geo fiberlink.net-N85: 44.4949 11.3426 bologna||it
+node.geo fiberlink.net-N86: 44.4949 11.3426 bologna||it
+node.geo fiberlink.net-N87: 44.4949 11.3426 bologna||it
+node.geo fiberlink.net-N88: 44.4949 11.3426 bologna||it
+node.geo fiberlink.net-N89: 44.4949 11.3426 bologna||it
+node.geo fiberlink.net-N90: 44.4949 11.3426 bologna||it
+node.geo fiberlink.net-N91: 39.1031 -84.5120 cincinnati|oh|us
+node.geo fiberlink.net-N92: 39.1031 -84.5120 cincinnati|oh|us
+node.geo fiberlink.net-N93: 39.1031 -84.5120 cincinnati|oh|us
+node.geo fiberlink.net-N94: 39.1031 -84.5120 cincinnati|oh|us
+node.geo fiberlink.net-N95: 39.1031 -84.5120 cincinnati|oh|us
+node.geo fiberlink.net-N96: 52.3676 4.9041 amsterdam||nl
+node.geo fiberlink.net-N97: 52.3676 4.9041 amsterdam||nl
+node.geo fiberlink.net-N98: 34.0007 -81.0348 columbia|sc|us
+node.geo fiberlink.net-N99: 34.0007 -81.0348 columbia|sc|us
+node.geo fiberlink.net-N100: 34.0007 -81.0348 columbia|sc|us
+node.geo fiberlink.net-N101: 34.0007 -81.0348 columbia|sc|us
+node.geo fiberlink.net-N102: 50.0755 14.4378 prague||cz
+node.geo fiberlink.net-N103: 50.0755 14.4378 prague||cz
+node.geo fiberlink.net-N104: 50.0755 14.4378 prague||cz
+node.geo fiberlink.net-N105: 50.0755 14.4378 prague||cz
+node.geo fiberlink.net-N106: 50.0755 14.4378 prague||cz
+node.geo fiberlink.net-N107: 50.0755 14.4378 prague||cz
+node.geo fiberlink.net-N108: 42.9956 -71.4548 manchester|nh|us
+node.geo fiberlink.net-N109: 42.9956 -71.4548 manchester|nh|us
+node.geo fiberlink.net-N110: 42.9956 -71.4548 manchester|nh|us
+node.geo fiberlink.net-N111: 42.9956 -71.4548 manchester|nh|us
+node.geo netspan.net-N1: 39.1031 -84.5120 cincinnati|oh|us
+node.geo netspan.net-N2: 39.1031 -84.5120 cincinnati|oh|us
+node.geo netspan.net-N3: 39.1031 -84.5120 cincinnati|oh|us
+node.geo netspan.net-N4: 39.1031 -84.5120 cincinnati|oh|us
+node.geo netspan.net-N5: 48.2082 16.3738 vienna||at
+node.geo netspan.net-N6: 48.2082 16.3738 vienna||at
+node.geo netspan.net-N7: 42.2626 -71.8023 worcester|ma|us
+node.geo netspan.net-N8: 42.2626 -71.8023 worcester|ma|us
+node.geo netspan.net-N9: 42.2626 -71.8023 worcester|ma|us
+node.geo netspan.net-N10: 41.7658 -72.6734 hartford|ct|us
+node.geo netspan.net-N11: 41.7658 -72.6734 hartford|ct|us
+node.geo netspan.net-N12: 41.7658 -72.6734 hartford|ct|us
+node.geo netspan.net-N13: 41.7658 -72.6734 hartford|ct|us
+node.geo netspan.net-N14: 42.9634 -85.6681 grand rapids|mi|us
+node.geo netspan.net-N15: 42.9634 -85.6681 grand rapids|mi|us
+node.geo netspan.net-N16: 42.9634 -85.6681 grand rapids|mi|us
+node.geo netspan.net-N17: 37.9838 23.7275 athens||gr
+node.geo netspan.net-N18: 37.9838 23.7275 athens||gr
+node.geo netspan.net-N19: 37.9838 23.7275 athens||gr
+node.geo netspan.net-N20: 37.5407 -77.4360 richmond|va|us
+node.geo netspan.net-N21: 37.5407 -77.4360 richmond|va|us
+node.geo netspan.net-N22: 37.5407 -77.4360 richmond|va|us
+node.geo netspan.net-N23: 37.6872 -97.3301 wichita|ks|us
+node.geo netspan.net-N24: 37.6872 -97.3301 wichita|ks|us
+node.geo netspan.net-N25: 37.6872 -97.3301 wichita|ks|us
+node.geo netspan.net-N26: 37.6872 -97.3301 wichita|ks|us
+node.geo netspan.net-N27: 55.8642 -4.2518 glasgow||gb
+node.geo netspan.net-N28: 55.8642 -4.2518 glasgow||gb
+node.geo netspan.net-N29: 55.8642 -4.2518 glasgow||gb
+node.geo netspan.net-N30: 55.8642 -4.2518 glasgow||gb
+node.geo netspan.net-N31: 40.4168 -3.7038 madrid||es
+node.geo netspan.net-N32: 40.4168 -3.7038 madrid||es
+node.geo netspan.net-N33: 40.4168 -3.7038 madrid||es
+node.geo netspan.net-N34: 35.9606 -83.9207 knoxville|tn|us
+node.geo netspan.net-N35: 35.9606 -83.9207 knoxville|tn|us
+node.geo netspan.net-N36: 35.9606 -83.9207 knoxville|tn|us
+node.geo netspan.net-N37: 35.9606 -83.9207 knoxville|tn|us
+node.geo netspan.net-N38: 47.6588 -117.4260 spokane|wa|us
+node.geo netspan.net-N39: 47.6588 -117.4260 spokane|wa|us
+node.geo netspan.net-N40: 47.6588 -117.4260 spokane|wa|us
+node.geo netspan.net-N41: 47.6588 -117.4260 spokane|wa|us
+node.geo netspan.net-N42: 46.2044 6.1432 geneva|ge|ch
+node.geo netspan.net-N43: 46.2044 6.1432 geneva|ge|ch
+node.geo netspan.net-N44: 47.5615 -52.7126 st johns|nl|ca
+node.geo netspan.net-N45: 47.5615 -52.7126 st johns|nl|ca
+node.geo netspan.net-N46: 47.6062 -122.3321 seattle|wa|us
+node.geo netspan.net-N47: 47.6062 -122.3321 seattle|wa|us
+node.geo netspan.net-N48: 35.2271 -80.8431 charlotte|nc|us
+node.geo netspan.net-N49: 35.2271 -80.8431 charlotte|nc|us
+node.geo netspan.net-N50: 35.2271 -80.8431 charlotte|nc|us
+node.geo netspan.net-N51: 35.2271 -80.8431 charlotte|nc|us
+node.geo netspan.net-N52: 37.7590 -77.4803 ashland|va|us
+node.geo netspan.net-N53: 37.7590 -77.4803 ashland|va|us
+node.geo netspan.net-N54: 37.7590 -77.4803 ashland|va|us
+node.geo netspan.net-N55: 45.5152 -122.6784 portland|or|us
+node.geo netspan.net-N56: 45.5152 -122.6784 portland|or|us
+node.geo netspan.net-N57: 35.0844 -106.6504 albuquerque|nm|us
+node.geo netspan.net-N58: 35.0844 -106.6504 albuquerque|nm|us
+node.geo netspan.net-N59: 35.0844 -106.6504 albuquerque|nm|us
+node.geo netspan.net-N60: 30.2672 -97.7431 austin|tx|us
+node.geo netspan.net-N61: 30.2672 -97.7431 austin|tx|us
+node.geo netspan.net-N62: 30.2672 -97.7431 austin|tx|us
+node.geo netspan.net-N63: 48.1351 11.5820 munich|by|de
+node.geo netspan.net-N64: 48.1351 11.5820 munich|by|de
+node.geo netspan.net-N65: 48.1351 11.5820 munich|by|de
+node.geo netspan.net-N66: 48.1351 11.5820 munich|by|de
+node.geo netspan.net-N67: 59.3293 18.0686 stockholm||se
+node.geo netspan.net-N68: 59.3293 18.0686 stockholm||se
+node.geo netspan.net-N69: 34.6937 135.5023 osaka||jp
+node.geo netspan.net-N70: 34.6937 135.5023 osaka||jp
+node.geo netspan.net-N71: 34.6937 135.5023 osaka||jp
+node.geo netspan.net-N72: 34.6937 135.5023 osaka||jp
+node.geo netspan.net-N73: 41.8781 -87.6298 chicago|il|us
+node.geo netspan.net-N74: 41.8781 -87.6298 chicago|il|us
+node.geo netspan.net-N75: 41.8781 -87.6298 chicago|il|us
+node.geo netspan.net-N76: 41.8781 -87.6298 chicago|il|us
+node.geo netspan.net-N77: 39.9526 -75.1652 philadelphia|pa|us
+node.geo netspan.net-N78: 39.9526 -75.1652 philadelphia|pa|us
+node.geo netspan.net-N79: 39.9526 -75.1652 philadelphia|pa|us
+node.geo netspan.net-N80: 39.9526 -75.1652 philadelphia|pa|us
+node.geo netspan.net-N81: 39.7392 -104.9903 denver|co|us
+node.geo netspan.net-N82: 39.7392 -104.9903 denver|co|us
+node.geo netspan.net-N83: 39.7392 -104.9903 denver|co|us
+node.geo netspan.net-N84: 46.8139 -71.2080 quebec|qc|ca
+node.geo netspan.net-N85: 46.8139 -71.2080 quebec|qc|ca
+node.geo netspan.net-N86: 46.8139 -71.2080 quebec|qc|ca
+node.geo netspan.net-N87: 46.8139 -71.2080 quebec|qc|ca
+node.geo netspan.net-N88: 38.6270 -90.1994 st louis|mo|us
+node.geo netspan.net-N89: 38.6270 -90.1994 st louis|mo|us
+node.geo netspan.net-N90: 38.6270 -90.1994 st louis|mo|us
+node.geo netspan.net-N91: 38.6270 -90.1994 st louis|mo|us
+node.geo netspan.net-N92: 51.0447 -114.0719 calgary|ab|ca
+node.geo netspan.net-N93: 51.0447 -114.0719 calgary|ab|ca
+node.geo netspan.net-N94: 51.2277 6.7735 dusseldorf|nw|de
+node.geo netspan.net-N95: 51.2277 6.7735 dusseldorf|nw|de
+node.geo netspan.net-N96: 51.2277 6.7735 dusseldorf|nw|de
+node.geo routeworks.co.uk-N1: 39.0171 -77.4600 ashburn|va|us
+node.geo routeworks.co.uk-N2: 39.0171 -77.4600 ashburn|va|us
+node.geo routeworks.co.uk-N3: 39.0171 -77.4600 ashburn|va|us
+node.geo routeworks.co.uk-N4: 39.0171 -77.4600 ashburn|va|us
+node.geo routeworks.co.uk-N5: 45.4740 9.1070 milan||it
+node.geo routeworks.co.uk-N6: 45.4740 9.1070 milan||it
+node.geo routeworks.co.uk-N7: 45.4740 9.1070 milan||it
+node.geo routeworks.co.uk-N8: 45.4740 9.1070 milan||it
+node.geo routeworks.co.uk-N9: 40.7780 -74.0661 secaucus|nj|us
+node.geo routeworks.co.uk-N10: 40.7780 -74.0661 secaucus|nj|us
+node.geo routeworks.co.uk-N11: 1.2976 103.7872 singapore||sg
+node.geo routeworks.co.uk-N12: 1.2976 103.7872 singapore||sg
+node.geo routeworks.co.uk-N13: 1.2976 103.7872 singapore||sg
+node.geo routeworks.co.uk-N14: 40.7414 -74.0033 new york|ny|us
+node.geo routeworks.co.uk-N15: 40.7414 -74.0033 new york|ny|us
+node.geo routeworks.co.uk-N16: 41.8530 -87.6184 chicago|il|us
+node.geo routeworks.co.uk-N17: 41.8530 -87.6184 chicago|il|us
+node.geo routeworks.co.uk-N18: 41.8530 -87.6184 chicago|il|us
+node.geo routeworks.co.uk-N19: 51.4939 -0.0214 london||gb
+node.geo routeworks.co.uk-N20: 51.4939 -0.0214 london||gb
+node.geo routeworks.co.uk-N21: 51.4939 -0.0214 london||gb
+node.geo routeworks.co.uk-N22: 51.4939 -0.0214 london||gb
+node.geo routeworks.co.uk-N23: 50.1189 8.7430 frankfurt am main|he|de
+node.geo routeworks.co.uk-N24: 50.1189 8.7430 frankfurt am main|he|de
+node.geo routeworks.co.uk-N25: 50.1189 8.7430 frankfurt am main|he|de
+node.geo routeworks.co.uk-N26: 50.1189 8.7430 frankfurt am main|he|de
+node.geo routeworks.co.uk-N27: -23.5320 -46.7050 sao paulo|sp|br
+node.geo routeworks.co.uk-N28: -23.5320 -46.7050 sao paulo|sp|br
+node.geo routeworks.co.uk-N29: -23.5320 -46.7050 sao paulo|sp|br
+node.geo routeworks.co.uk-N30: -23.5320 -46.7050 sao paulo|sp|br
+node.geo routeworks.co.uk-N31: 47.3871 8.5187 zurich|zh|ch
+node.geo routeworks.co.uk-N32: 47.3871 8.5187 zurich|zh|ch
+node.geo routeworks.co.uk-N33: 47.3871 8.5187 zurich|zh|ch
+node.geo routeworks.co.uk-N34: 33.7572 -84.3930 atlanta|ga|us
+node.geo routeworks.co.uk-N35: 33.7572 -84.3930 atlanta|ga|us
+node.geo routeworks.co.uk-N36: 33.7572 -84.3930 atlanta|ga|us
+node.geo routeworks.co.uk-N37: 33.7572 -84.3930 atlanta|ga|us
+node.geo routeworks.co.uk-N38: 40.7197 -74.0089 new york|ny|us
+node.geo routeworks.co.uk-N39: 40.7197 -74.0089 new york|ny|us
+node.geo routeworks.co.uk-N40: 40.7197 -74.0089 new york|ny|us
+node.geo routeworks.co.uk-N41: 40.7197 -74.0089 new york|ny|us
+node.geo routeworks.co.uk-N42: 47.6146 -122.3393 seattle|wa|us
+node.geo routeworks.co.uk-N43: 47.6146 -122.3393 seattle|wa|us
+node.geo routeworks.co.uk-N44: 48.9358 2.3550 paris||fr
+node.geo routeworks.co.uk-N45: 48.9358 2.3550 paris||fr
+node.geo routeworks.co.uk-N46: 34.0561 -118.2366 los angeles|ca|us
+node.geo routeworks.co.uk-N47: 34.0561 -118.2366 los angeles|ca|us
+node.geo routeworks.co.uk-N48: -37.8183 144.9550 melbourne|vic|au
+node.geo routeworks.co.uk-N49: -37.8183 144.9550 melbourne|vic|au
+node.geo routeworks.co.uk-N50: -22.9230 -43.1730 rio de janeiro|rj|br
+node.geo routeworks.co.uk-N51: -22.9230 -43.1730 rio de janeiro|rj|br
+node.geo routeworks.co.uk-N52: -22.9230 -43.1730 rio de janeiro|rj|br
+node.geo routeworks.co.uk-N53: -22.9230 -43.1730 rio de janeiro|rj|br
+node.geo routeworks.co.uk-N54: 34.0479 -118.2562 los angeles|ca|us
+node.geo routeworks.co.uk-N55: 34.0479 -118.2562 los angeles|ca|us
+node.geo routeworks.co.uk-N56: 34.0479 -118.2562 los angeles|ca|us
+node.geo routeworks.co.uk-N57: 34.0479 -118.2562 los angeles|ca|us
+node.geo routeworks.co.uk-N58: 52.3561 4.9508 amsterdam||nl
+node.geo routeworks.co.uk-N59: 52.3561 4.9508 amsterdam||nl
+node.geo routeworks.co.uk-N60: 52.3561 4.9508 amsterdam||nl
+node.geo routeworks.co.uk-N61: 32.8012 -96.8190 dallas|tx|us
+node.geo routeworks.co.uk-N62: 32.8012 -96.8190 dallas|tx|us
+node.geo routeworks.co.uk-N63: 50.0998 8.6320 frankfurt am main|he|de
+node.geo routeworks.co.uk-N64: 50.0998 8.6320 frankfurt am main|he|de
+node.geo routeworks.co.uk-N65: 50.0998 8.6320 frankfurt am main|he|de
+node.geo routeworks.co.uk-N66: 50.0998 8.6320 frankfurt am main|he|de
+node.geo routeworks.co.uk-N67: -26.1885 28.0700 johannesburg||za
+node.geo routeworks.co.uk-N68: -26.1885 28.0700 johannesburg||za
+node.geo backhaul.co.uk-N1: 45.8150 15.9819 zagreb||hr
+node.geo backhaul.co.uk-N2: 45.8150 15.9819 zagreb||hr
+node.geo backhaul.co.uk-N3: 45.8150 15.9819 zagreb||hr
+node.geo backhaul.co.uk-N4: 51.5074 -0.1278 london||gb
+node.geo backhaul.co.uk-N5: 51.5074 -0.1278 london||gb
+node.geo backhaul.co.uk-N6: 51.5074 -0.1278 london||gb
+node.geo backhaul.co.uk-N7: 51.5074 -0.1278 london||gb
+node.geo backhaul.co.uk-N8: 51.5074 -0.1278 london||gb
+node.geo backhaul.co.uk-N9: 42.1946 -122.7095 ashland|or|us
+node.geo backhaul.co.uk-N10: 42.1946 -122.7095 ashland|or|us
+node.geo backhaul.co.uk-N11: 51.5136 7.4653 dortmund|nw|de
+node.geo backhaul.co.uk-N12: 51.5136 7.4653 dortmund|nw|de
+node.geo backhaul.co.uk-N13: 51.5136 7.4653 dortmund|nw|de
+node.geo backhaul.co.uk-N14: 51.5136 7.4653 dortmund|nw|de
+node.geo backhaul.co.uk-N15: 51.5136 7.4653 dortmund|nw|de
+node.geo backhaul.co.uk-N16: 37.1305 -113.5083 washington|ut|us
+node.geo backhaul.co.uk-N17: 37.1305 -113.5083 washington|ut|us
+node.geo backhaul.co.uk-N18: 37.1305 -113.5083 washington|ut|us
+node.geo backhaul.co.uk-N19: 37.1305 -113.5083 washington|ut|us
+node.geo backhaul.co.uk-N20: 37.1305 -113.5083 washington|ut|us
+node.geo backhaul.co.uk-N21: -8.0476 -34.8770 recife|pe|br
+node.geo backhaul.co.uk-N22: -8.0476 -34.8770 recife|pe|br
+node.geo backhaul.co.uk-N23: 28.5383 -81.3792 orlando|fl|us
+node.geo backhaul.co.uk-N24: 28.5383 -81.3792 orlando|fl|us
+node.geo backhaul.co.uk-N25: 28.5383 -81.3792 orlando|fl|us
+node.geo backhaul.co.uk-N26: 28.5383 -81.3792 orlando|fl|us
+node.geo backhaul.co.uk-N27: 28.5383 -81.3792 orlando|fl|us
+node.geo backhaul.co.uk-N28: 28.5383 -81.3792 orlando|fl|us
+node.geo backhaul.co.uk-N29: 36.7213 -4.4214 malaga||es
+node.geo backhaul.co.uk-N30: 36.7213 -4.4214 malaga||es
+node.geo backhaul.co.uk-N31: 36.7213 -4.4214 malaga||es
+node.geo backhaul.co.uk-N32: 36.7213 -4.4214 malaga||es
+node.geo backhaul.co.uk-N33: 36.7213 -4.4214 malaga||es
+node.geo backhaul.co.uk-N34: 45.4384 10.9916 verona||it
+node.geo backhaul.co.uk-N35: 45.4384 10.9916 verona||it
+node.geo backhaul.co.uk-N36: 45.4384 10.9916 verona||it
+node.geo interpath.net-N1: 60.1699 24.9384 helsinki||fi
+node.geo interpath.net-N2: 60.1699 24.9384 helsinki||fi
+node.geo interpath.net-N3: 60.1699 24.9384 helsinki||fi
+node.geo interpath.net-N4: 60.1699 24.9384 helsinki||fi
+node.geo interpath.net-N5: 60.1699 24.9384 helsinki||fi
+node.geo interpath.net-N6: 60.1699 24.9384 helsinki||fi
+node.geo interpath.net-N7: 60.1699 24.9384 helsinki||fi
+node.geo interpath.net-N8: 60.1699 24.9384 helsinki||fi
+node.geo interpath.net-N9: 49.8951 -97.1384 winnipeg|mb|ca
+node.geo interpath.net-N10: 49.8951 -97.1384 winnipeg|mb|ca
+node.geo interpath.net-N11: 49.8951 -97.1384 winnipeg|mb|ca
+node.geo interpath.net-N12: 49.8951 -97.1384 winnipeg|mb|ca
+node.geo interpath.net-N13: 49.8951 -97.1384 winnipeg|mb|ca
+node.geo interpath.net-N14: 61.2181 -149.9003 anchorage|ak|us
+node.geo interpath.net-N15: 61.2181 -149.9003 anchorage|ak|us
+node.geo interpath.net-N16: 61.2181 -149.9003 anchorage|ak|us
+node.geo interpath.net-N17: 61.2181 -149.9003 anchorage|ak|us
+node.geo interpath.net-N18: 61.2181 -149.9003 anchorage|ak|us
+node.geo interpath.net-N19: 61.2181 -149.9003 anchorage|ak|us
+node.geo interpath.net-N20: 61.2181 -149.9003 anchorage|ak|us
+node.geo interpath.net-N21: 61.2181 -149.9003 anchorage|ak|us
+node.geo interpath.net-N22: 39.1031 -84.5120 cincinnati|oh|us
+node.geo interpath.net-N23: 39.1031 -84.5120 cincinnati|oh|us
+node.geo interpath.net-N24: 39.1031 -84.5120 cincinnati|oh|us
+node.geo interpath.net-N25: 39.1031 -84.5120 cincinnati|oh|us
+node.geo interpath.net-N26: 39.1031 -84.5120 cincinnati|oh|us
+node.geo interpath.net-N27: 39.1031 -84.5120 cincinnati|oh|us
+node.geo interpath.net-N28: 48.7758 9.1829 stuttgart|bw|de
+node.geo interpath.net-N29: 48.7758 9.1829 stuttgart|bw|de
+node.geo interpath.net-N30: 48.7758 9.1829 stuttgart|bw|de
+node.geo interpath.net-N31: 48.7758 9.1829 stuttgart|bw|de
+node.geo interpath.net-N32: 48.7758 9.1829 stuttgart|bw|de
+node.geo interpath.net-N33: 29.7604 -95.3698 houston|tx|us
+node.geo interpath.net-N34: 29.7604 -95.3698 houston|tx|us
+node.geo interpath.net-N35: 40.4168 -3.7038 madrid||es
+node.geo interpath.net-N36: 40.4168 -3.7038 madrid||es
+node.geo interpath.net-N37: 40.4168 -3.7038 madrid||es
+node.geo interpath.net-N38: 40.4168 -3.7038 madrid||es
+node.geo interpath.net-N39: 40.4168 -3.7038 madrid||es
+node.geo interpath.net-N40: 34.7304 -86.5861 huntsville|al|us
+node.geo interpath.net-N41: 34.7304 -86.5861 huntsville|al|us
+node.geo interpath.net-N42: 34.7304 -86.5861 huntsville|al|us
+node.geo interpath.net-N43: 34.7304 -86.5861 huntsville|al|us
+node.geo interpath.net-N44: 34.7304 -86.5861 huntsville|al|us
+node.geo interpath.net-N45: 39.9612 -82.9988 columbus|oh|us
+node.geo interpath.net-N46: 39.9612 -82.9988 columbus|oh|us
+node.geo lightwave.co.uk-N1: -1.2921 36.8219 nairobi||ke
+node.geo lightwave.co.uk-N2: -1.2921 36.8219 nairobi||ke
+node.geo lightwave.co.uk-N3: -1.2921 36.8219 nairobi||ke
+node.geo lightwave.co.uk-N4: -1.2921 36.8219 nairobi||ke
+node.geo lightwave.co.uk-N5: 41.1400 -104.8202 cheyenne|wy|us
+node.geo lightwave.co.uk-N6: 41.1400 -104.8202 cheyenne|wy|us
+node.geo lightwave.co.uk-N7: 41.1400 -104.8202 cheyenne|wy|us
+node.geo lightwave.co.uk-N8: 41.1400 -104.8202 cheyenne|wy|us
+node.geo lightwave.co.uk-N9: 41.1400 -104.8202 cheyenne|wy|us
+node.geo lightwave.co.uk-N10: 36.7213 -4.4214 malaga||es
+node.geo lightwave.co.uk-N11: 36.7213 -4.4214 malaga||es
+node.geo lightwave.co.uk-N12: 36.7213 -4.4214 malaga||es
+node.geo lightwave.co.uk-N13: 36.7213 -4.4214 malaga||es
+node.geo lightwave.co.uk-N14: 36.7213 -4.4214 malaga||es
+node.geo lightwave.co.uk-N15: 52.3759 9.7320 hanover|ni|de
+node.geo lightwave.co.uk-N16: 52.3759 9.7320 hanover|ni|de
+node.geo lightwave.co.uk-N17: 52.3759 9.7320 hanover|ni|de
+node.geo lightwave.co.uk-N18: 52.3759 9.7320 hanover|ni|de
+node.geo lightwave.co.uk-N19: 38.2527 -85.7585 louisville|ky|us
+node.geo lightwave.co.uk-N20: 38.2527 -85.7585 louisville|ky|us
+node.geo lightwave.co.uk-N21: 38.2527 -85.7585 louisville|ky|us
+node.geo lightwave.co.uk-N22: 38.2527 -85.7585 louisville|ky|us
+node.geo lightwave.co.uk-N23: 38.2527 -85.7585 louisville|ky|us
+node.geo lightwave.co.uk-N24: 40.8518 14.2681 naples||it
+node.geo lightwave.co.uk-N25: 40.8518 14.2681 naples||it
+node.geo lightwave.co.uk-N26: 44.9778 -93.2650 minneapolis|mn|us
+node.geo lightwave.co.uk-N27: 44.9778 -93.2650 minneapolis|mn|us
+node.geo lightwave.co.uk-N28: 44.9778 -93.2650 minneapolis|mn|us
+node.geo isp00.co.uk-N1: 41.2565 -95.9345 omaha|ne|us
+node.geo isp00.co.uk-N2: 41.2565 -95.9345 omaha|ne|us
+node.geo isp01.de-N1: 45.5017 -73.5673 montreal|qc|ca
+node.geo isp01.de-N2: 45.5017 -73.5673 montreal|qc|ca
+node.geo isp02.net-N1: -1.4558 -48.4902 belem|pa|br
+node.geo isp02.net-N2: -1.4558 -48.4902 belem|pa|br
+node.geo isp02.net-N3: -2.1894 -79.8891 guayaquil||ec
+node.geo isp02.net-N4: -2.1894 -79.8891 guayaquil||ec
+node.geo isp03.net.au-N1: 35.2220 -101.8313 amarillo|tx|us
+node.geo isp03.net.au-N2: 35.2220 -101.8313 amarillo|tx|us
+node.geo noise00.de-N0: 41.2992 -91.6929 washington|ia|us
+node.geo noise00.de-N1: 34.6937 135.5023 osaka||jp
+node.geo noise00.de-N2: -41.2866 174.7756 wellington||nz
+node.geo noise00.de-N3: 50.4452 -104.6189 regina|sk|ca
+node.geo noise01.io-N0: 36.1627 -86.7816 nashville|tn|us
+node.geo noise01.io-N1: 37.1305 -113.5083 washington|ut|us
+node.geo noise01.io-N2: 51.3397 12.3731 leipzig|sn|de
+node.geo noise01.io-N3: 22.5726 88.3639 kolkata||in
+node.geo noise01.io-N4: -32.9283 151.7817 newcastle|nsw|au
+node.geo noise01.io-N5: -36.8485 174.7633 auckland||nz
+node.geo noise01.io-N6: 38.7223 -9.1393 lisbon||pt
+node.geo noise01.io-N7: 41.8240 -71.4128 providence|ri|us
+node.geo noise01.io-N8: 47.6062 -122.3321 seattle|wa|us
+node.geo noise01.io-N9: 37.5407 -77.4360 richmond|va|us
+node.geo noise01.io-N10: 53.2194 6.5665 groningen||nl
+node.geo noise01.io-N11: -16.4897 -68.1193 la paz||bo
+node.geo noise01.io-N12: 29.9511 -90.0715 new orleans|la|us
+node.geo noise02.com-N0: 22.6273 120.3014 kaohsiung||tw
+node.geo noise02.com-N1: 10.8231 106.6297 ho chi minh city||vn
+node.geo noise02.com-N2: 41.8240 -71.4128 providence|ri|us
+node.geo noise02.com-N3: 42.8864 -78.8784 buffalo|ny|us
+node.geo noise02.com-N4: 42.9956 -71.4548 manchester|nh|us
+node.geo noise02.com-N5: -1.2921 36.8219 nairobi||ke
+node.geo noise02.com-N6: 50.2649 19.0238 katowice||pl
+node.geo noise02.com-N7: 43.0731 -89.4012 madison|wi|us
+node.geo noise02.com-N8: 31.2304 121.4737 shanghai||cn
+node.geo noise02.com-N9: 43.2630 -2.9350 bilbao||es
+node.geo noise02.com-N10: 44.0521 -123.0868 eugene|or|us
+node.geo noise02.com-N11: 29.9511 -90.0715 new orleans|la|us
+node.geo noise02.com-N12: 55.7558 37.6173 moscow||ru
+node.geo noise02.com-N13: -1.2921 36.8219 nairobi||ke
+node.geo noise02.com-N14: 47.6588 -117.4260 spokane|wa|us
+node.geo noise02.com-N15: 29.3759 47.9774 kuwait city||kw
+node.geo noise02.com-N16: 25.7617 -80.1918 miami|fl|us
+node.geo noise02.com-N17: 42.0625 -104.1841 torrington|wy|us
+node.geo noise03.de-N0: 52.3676 4.9041 amsterdam||nl
+node.geo noise03.de-N1: -31.4201 -64.1888 cordoba||ar
+node.geo noise03.de-N2: 5.3600 -4.0083 abidjan||ci
+node.geo noise03.de-N3: 59.3293 18.0686 stockholm||se
+node.geo noise03.de-N4: 36.8508 -76.2859 norfolk|va|us
+node.geo noise03.de-N5: -1.9706 30.1044 kigali||rw
+node.geo noise03.de-N6: 4.7110 -74.0721 bogota||co
+node.geo noise03.de-N7: 37.6872 -97.3301 wichita|ks|us
+node.geo noise03.de-N8: 45.4384 10.9916 verona||it
+node.geo noise03.de-N9: 43.5446 -96.7311 sioux falls|sd|us
+node.geo noise03.de-N10: 52.2297 21.0122 warsaw||pl
+node.geo noise03.de-N11: -22.5609 17.0658 windhoek||na
+node.geo noise03.de-N12: 43.6150 -116.2023 boise|id|us
+node.geo noise03.de-N13: 14.7167 -17.4677 dakar||sn
+node.geo noise03.de-N14: 51.0447 -114.0719 calgary|ab|ca
+node.geo noise03.de-N15: 17.3850 78.4867 hyderabad||in
+node.geo noise03.de-N16: 45.7640 4.8357 lyon||fr
+node.geo anon-N0: 51.2194 4.4025 antwerp||be
+node.geo anon-N1: 51.1079 17.0385 wroclaw||pl
+node.geo anon-N2: -19.9167 -43.9345 belo horizonte|mg|br
+node.geo anon-N3: 37.3382 -121.8863 san jose|ca|us
+node.geo anon-N4: 57.7089 11.9746 gothenburg||se
+node.geo anon-N5: -8.0476 -34.8770 recife|pe|br
+node.geo anon-N6: 52.3676 4.9041 amsterdam||nl
+node.geo anon-N7: 30.4515 -91.1871 baton rouge|la|us
+node.geo anon-N8: 41.6528 -83.5379 toledo|oh|us
+node.geo anon-N9: -3.1190 -60.0217 manaus|am|br
+node.geo anon-N10: 43.5446 -96.7311 sioux falls|sd|us
+node.geo anon-N11: 52.1332 -106.6700 saskatoon|sk|ca
+node.geo anon-N12: 51.2277 6.7735 dusseldorf|nw|de
+node.geo anon-N13: 49.2827 -123.1207 vancouver|bc|ca
+node.geo anon-N14: 44.9778 -93.2650 minneapolis|mn|us
+node.geo anon-N15: -12.9777 -38.5016 salvador|ba|br
+node.geo anon-N16: -1.2921 36.8219 nairobi||ke
+node.geo anon-N17: -41.2866 174.7756 wellington||nz
+node.geo anon-N18: 28.1235 -15.4363 las palmas||es
+node.geo anon-N19: 43.0731 -89.4012 madison|wi|us
+node.geo anon-N20: 49.1951 16.6068 brno||cz
+node.geo anon-N21: 0.3476 32.5825 kampala||ug
+node.geo anon-N22: 38.7223 -9.1393 lisbon||pt
+node.geo anon-N23: -25.4284 -49.2733 curitiba|pr|br
+node.geo anon-N24: 18.4655 -66.1057 san juan||pr
+node.geo anon-N25: 35.6892 51.3890 tehran||ir
+node.geo anon-N26: 41.1400 -104.8202 cheyenne|wy|us
+node.geo anon-N27: 38.2682 140.8694 sendai||jp
+node.geo anon-N28: 34.1808 -118.3090 burbank|ca|us
+node.geo anon-N29: -41.2866 174.7756 wellington||nz
+node.geo anon-N30: 48.5734 7.7521 strasbourg||fr
+node.geo anon-N31: 41.8240 -71.4128 providence|ri|us
+node.geo anon-N32: 54.3520 18.6466 gdansk||pl
+node.geo anon-N33: 48.1486 17.1077 bratislava||sk
+node.geo anon-N34: 49.8951 -97.1384 winnipeg|mb|ca
+node.geo anon-N35: 35.4676 -97.5164 oklahoma city|ok|us
+node.geo anon-N36: -12.9777 -38.5016 salvador|ba|br
+node.geo anon-N37: 45.7640 4.8357 lyon||fr
+node.geo anon-N38: 36.1699 -115.1398 las vegas|nv|us
+node.geo anon-N39: 6.5244 3.3792 lagos||ng
+node.geo anon-N40: 32.5252 -93.7502 shreveport|la|us
+node.geo anon-N41: 21.0278 105.8342 hanoi||vn
+node.geo anon-N42: 40.1740 -80.2462 washington|pa|us
+node.geo anon-N43: -38.1499 144.3617 geelong|vic|au
+node.geo anon-N44: 34.0007 -81.0348 columbia|sc|us
+node.geo anon-N45: 44.4056 8.9463 genoa||it
+node.geo anon-N46: 52.3759 9.7320 hanover|ni|de
+node.geo anon-N47: 25.2854 51.5310 doha||qa
+node.geo anon-N48: 34.0522 131.8063 tokuyama||jp
+node.geo anon-N49: 51.5136 7.4653 dortmund|nw|de
+node.geo anon-N50: 43.6532 -79.3832 toronto|on|ca
+node.geo anon-N51: 47.2184 -1.5536 nantes||fr
+node.geo anon-N52: 53.4808 -2.2426 manchester||gb
+node.geo anon-N53: 45.5152 -122.6784 portland|or|us
+node.geo anon-N54: 39.7817 -89.6501 springfield|il|us
+node.geo anon-N55: 14.5995 120.9842 manila||ph
+node.geo anon-N56: 10.4806 -66.9036 caracas||ve
+node.geo anon-N57: -16.4897 -68.1193 la paz||bo
+node.geo anon-N58: 42.1946 -122.7095 ashland|or|us
+node.geo anon-N59: 40.4168 -3.7038 madrid||es
+node.geo anon-N60: 49.8951 -97.1384 winnipeg|mb|ca
+node.geo anon-N61: -38.1499 144.3617 geelong|vic|au
+node.geo anon-N62: 60.3913 5.3221 bergen||no
+node.geo anon-N63: 5.6037 -0.1870 accra||gh
+node.geo anon-N64: 42.8864 -78.8784 buffalo|ny|us
+node.geo anon-N65: 41.1171 16.8719 bari||it
+node.geo anon-N66: 48.8566 2.3522 paris||fr
+node.geo anon-N67: 24.8607 67.0011 karachi||pk
+node.geo anon-N68: -22.5609 17.0658 windhoek||na
+node.geo anon-N69: 40.7128 -74.0060 new york|ny|us
+node.geo anon-N70: 18.4655 -66.1057 san juan||pr
+node.geo anon-N71: 39.1031 -84.5120 cincinnati|oh|us
+node.geo anon-N72: -0.1807 -78.4678 quito||ec
+node.geo anon-N73: 5.4164 100.3327 penang||my
+node.geo anon-N74: 38.2682 140.8694 sendai||jp
+node.geo anon-N75: 46.7712 23.6236 cluj-napoca||ro
+node.geo anon-N76: 52.0907 5.1214 utrecht||nl
+node.geo anon-N77: 34.3416 108.9398 xian||cn
+node.geo anon-N78: 23.5880 58.3829 muscat||om
+node.geo anon-N79: 54.6872 25.2797 vilnius||lt
+node.geo anon-N80: 40.8518 14.2681 naples||it
+node.geo anon-N81: 33.8938 35.5018 beirut||lb
+node.geo anon-N82: -34.6037 -58.3816 buenos aires||ar
+node.geo anon-N83: 48.5734 7.7521 strasbourg||fr
+node.geo anon-N84: 4.7110 -74.0721 bogota||co
+node.geo anon-N85: 52.0705 4.3007 the hague||nl
+node.geo anon-N86: 43.2220 76.8512 almaty||kz
+node.geo anon-N87: -35.2809 149.1300 canberra|act|au
+node.geo anon-N88: 29.3759 47.9774 kuwait city||kw
+node.geo anon-N89: 27.8770 -97.3233 portland|tx|us
+node.geo anon-N90: 52.3676 4.9041 amsterdam||nl
+node.geo anon-N91: 38.7509 -77.4753 manassas|va|us
+node.geo anon-N92: 54.6872 25.2797 vilnius||lt
+node.geo anon-N93: 50.1109 8.6821 frankfurt am main|he|de
+node.geo anon-N94: -25.2637 -57.5759 asuncion||py
+node.geo anon-N95: 23.5880 58.3829 muscat||om
+node.geo anon-N96: 30.0444 31.2357 cairo||eg
+node.geo anon-N97: 19.8301 -90.5349 campeche||mx
+node.geo anon-N98: 32.4610 -84.9877 columbus|ga|us
+node.geo anon-N99: 42.3601 -71.0589 boston|ma|us
+node.geo anon-N100: 4.7110 -74.0721 bogota||co
+node.geo anon-N101: 31.7619 -106.4850 el paso|tx|us
+node.geo anon-N102: 39.9612 -82.9988 columbus|oh|us
+node.geo anon-N103: 19.8301 -90.5349 campeche||mx
+node.geo anon-N104: 42.2626 -71.8023 worcester|ma|us
+node.geo anon-N105: 37.3382 -121.8863 san jose|ca|us
+node.geo anon-N106: 35.6762 139.6503 tokyo||jp
+node.geo anon-N107: 31.5493 -97.1467 waco|tx|us
+node.geo anon-N108: 44.6488 -63.5752 halifax|ns|ca
+node.geo anon-N109: 41.3198 -81.6268 brecksville|oh|us
+node.geo anon-N110: 37.5079 15.0830 catania||it
+node.geo anon-N111: 36.7213 -4.4214 malaga||es
+node.geo anon-N112: 51.2277 6.7735 dusseldorf|nw|de
+node.geo anon-N113: 11.5564 104.9282 phnom penh||kh
+node.geo anon-N114: 45.4215 -75.6972 ottawa|on|ca
+node.geo anon-N115: -24.6282 25.9231 gaborone||bw
+node.geo anon-N116: 57.0488 9.9217 aalborg||dk
+node.geo anon-N117: 30.3322 -81.6557 jacksonville|fl|us
+node.geo anon-N118: 42.6526 -73.7562 albany|ny|us
+node.geo anon-N119: 56.1629 10.2039 aarhus||dk
+node.geo anon-N120: 57.7089 11.9746 gothenburg||se
+node.geo anon-N121: 41.9973 21.4280 skopje||mk
+node.geo anon-N122: 38.6270 -90.1994 st louis|mo|us
+node.geo anon-N123: 43.2630 -2.9350 bilbao||es
+node.geo anon-N124: 37.5665 126.9780 seoul||kr
+node.geo anon-N125: 51.2277 6.7735 dusseldorf|nw|de
+node.geo anon-N126: 22.5431 114.0579 shenzhen||cn
+node.geo anon-N127: -24.6282 25.9231 gaborone||bw
+node.geo anon-N128: 10.8231 106.6297 ho chi minh city||vn
+node.geo anon-N129: 35.0844 -106.6504 albuquerque|nm|us
+node.geo anon-N130: 37.2090 -93.2923 springfield|mo|us
+node.geo anon-N131: 34.0522 -118.2437 los angeles|ca|us
+node.geo anon-N132: 38.9072 -77.0369 washington|dc|us
+node.geo anon-N133: 13.0827 80.2707 chennai||in
+node.geo anon-N134: 4.7110 -74.0721 bogota||co
+node.geo anon-N135: 19.0760 72.8777 mumbai||in
+node.geo anon-N136: 33.6844 73.0479 islamabad||pk
+node.geo anon-N137: 50.0647 19.9450 krakow||pl
+node.geo anon-N138: 63.4305 10.3951 trondheim||no
+node.geo anon-N139: 41.9973 21.4280 skopje||mk
+node.geo anon-N140: 51.3397 12.3731 leipzig|sn|de
+node.geo anon-N141: 38.8339 -104.8214 colorado springs|co|us
+node.geo anon-N142: 53.5511 9.9937 hamburg|hh|de
+node.geo anon-N143: 51.0447 -114.0719 calgary|ab|ca
+node.geo anon-N144: 38.2682 140.8694 sendai||jp
+node.geo anon-N145: 21.4858 39.1925 jeddah||sa
+node.geo anon-N146: 32.5252 -93.7502 shreveport|la|us
+node.geo anon-N147: 42.1946 -122.7095 ashland|or|us
+node.geo anon-N148: 47.6588 -117.4260 spokane|wa|us
+node.geo anon-N149: 35.6892 51.3890 tehran||ir
+node.geo anon-N150: 27.2530 86.6700 lamidanda||np
+node.geo anon-N151: 28.7041 77.1025 delhi||in
+node.geo anon-N152: 41.8781 -87.6298 chicago|il|us
+node.geo anon-N153: 44.4268 26.1025 bucharest||ro
+node.geo anon-N154: 42.5122 14.1471 montesilvano marina||it
+node.geo anon-N155: 60.3913 5.3221 bergen||no
+node.geo anon-N156: 25.2854 51.5310 doha||qa
+node.geo anon-N157: -19.9167 -43.9345 belo horizonte|mg|br
+node.geo anon-N158: 34.6937 135.5023 osaka||jp
+node.geo anon-N159: 32.7767 -96.7970 dallas|tx|us
+node.geo anon-N160: -15.3875 28.3228 lusaka||zm
+node.geo anon-N161: -37.8136 144.9631 melbourne|vic|au
+node.geo anon-N162: 30.5728 104.0668 chengdu||cn
+node.geo anon-N163: 50.0647 19.9450 krakow||pl
+node.geo anon-N164: 10.3157 123.8854 cebu||ph
+node.geo anon-N165: 31.2304 121.4737 shanghai||cn
+node.geo anon-N166: -27.4698 153.0251 brisbane|qld|au
+node.geo anon-N167: 41.2565 -95.9345 omaha|ne|us
+node.geo anon-N168: 54.9000 -1.5200 washington||gb
+node.geo anon-N169: 8.9824 -79.5199 panama city||pa
+node.geo anon-N170: 35.6762 139.6503 tokyo||jp
+node.geo anon-N171: 53.2194 6.5665 groningen||nl
+node.geo anon-N172: -23.5505 -46.6333 sao paulo|sp|br
+node.geo anon-N173: -43.5321 172.6362 christchurch||nz
+node.geo anon-N174: -7.2575 112.7521 surabaya||id
+node.geo anon-N175: 37.7590 -77.4803 ashland|va|us
+node.geo anon-N176: 37.4419 -122.1430 palo alto|ca|us
+node.geo anon-N177: 35.2220 -101.8313 amarillo|tx|us
+node.geo anon-N178: 42.3314 -83.0458 detroit|mi|us
+node.geo anon-N179: 52.2292 5.1669 hilversum||nl
+node.geo anon-N180: 18.4655 -66.1057 san juan||pr
+node.geo anon-N181: -8.0476 -34.8770 recife|pe|br
+node.geo anon-N182: 33.7490 -84.3880 atlanta|ga|us
+node.geo anon-N183: 46.0569 14.5058 ljubljana||si
+node.geo anon-N184: -37.7870 175.2793 hamilton||nz
+node.geo anon-N185: -3.7327 -38.5270 fortaleza|ce|br
+node.geo anon-N186: 35.2220 -101.8313 amarillo|tx|us
+node.geo anon-N187: 34.0522 131.8063 tokuyama||jp
+node.geo anon-N188: 43.2557 -79.8711 hamilton|on|ca
+node.geo anon-N189: 39.7817 -89.6501 springfield|il|us
+node.geo anon-N190: 43.0481 -76.1474 syracuse|ny|us
+node.geo anon-N191: 35.9606 -83.9207 knoxville|tn|us
+node.geo anon-N192: 43.2557 -79.8711 hamilton|on|ca
+node.geo anon-N193: 50.4501 30.5234 kyiv||ua
+node.geo anon-N194: 25.7617 -80.1918 miami|fl|us
+node.geo anon-N195: 59.4370 24.7536 tallinn||ee
+node.geo anon-N196: 47.3769 8.5417 zurich|zh|ch
+node.geo anon-N197: 43.2220 76.8512 almaty||kz
+node.geo anon-N198: 40.1740 -80.2462 washington|pa|us
+node.geo anon-N199: 43.7696 11.2558 florence||it
+node.geo anon-N200: 14.7167 -17.4677 dakar||sn
+node.geo anon-N201: 49.2827 -123.1207 vancouver|bc|ca
+node.geo anon-N202: 43.2965 5.3698 marseille||fr
+node.geo anon-N203: 42.7654 -71.4676 nashua|nh|us
+node.geo anon-N204: 38.6592 -87.1728 washington|in|us
+node.geo anon-N205: 46.2044 6.1432 geneva|ge|ch
+node.geo anon-N206: 52.2292 5.1669 hilversum||nl
+node.geo anon-N207: -6.7714 -79.8409 chiclayo||pe
+node.geo anon-N208: 50.6292 3.0573 lille||fr
+node.geo anon-N209: -38.1499 144.3617 geelong|vic|au
+node.geo anon-N210: 40.7036 -89.4073 washington|il|us
+node.geo anon-N211: 36.0726 -79.7920 greensboro|nc|us
+node.geo anon-N212: 19.4326 -99.1332 mexico city||mx
+node.geo anon-N213: 51.2194 4.4025 antwerp||be
+node.geo anon-N214: 50.2649 19.0238 katowice||pl
+node.geo anon-N215: -6.7714 -79.8409 chiclayo||pe
+node.geo anon-N216: 51.0504 13.7373 dresden|sn|de
+node.geo anon-N217: 42.1015 -72.5898 springfield|ma|us
+node.geo anon-N218: 34.7304 -86.5861 huntsville|al|us
+node.geo anon-N219: 14.7167 -17.4677 dakar||sn
+node.geo anon-N220: 40.7587 -74.9824 washington|nj|us
+node.geo anon-N221: -43.5321 172.6362 christchurch||nz
+node.geo anon-N222: 52.3874 4.6462 haarlem||nl
+node.geo anon-N223: 38.1157 13.3615 palermo||it
+node.geo anon-N224: 40.1740 -80.2462 washington|pa|us
+node.geo anon-N225: -25.2637 -57.5759 asuncion||py
+node.geo anon-N226: 29.3759 47.9774 kuwait city||kw
+node.geo anon-N227: 34.7465 -92.2896 little rock|ar|us
+node.geo anon-N228: 55.8642 -4.2518 glasgow||gb
+node.geo anon-N229: 53.0793 8.8017 bremen|hb|de
+node.geo anon-N230: 45.4642 9.1900 milan||it
+node.geo anon-N231: -26.2041 28.0473 johannesburg||za
+node.geo anon-N232: 32.2226 -110.9747 tucson|az|us
+node.geo anon-N233: 32.0603 118.7969 nanjing||cn
+node.geo anon-N234: -43.5321 172.6362 christchurch||nz
+node.geo anon-N235: 35.6892 51.3890 tehran||ir
+node.geo anon-N236: 41.4993 -81.6944 cleveland|oh|us
+node.geo anon-N237: 29.4316 106.9123 chongqing||cn
+node.geo anon-N238: 36.1627 -86.7816 nashville|tn|us
+node.geo anon-N239: 43.1566 -77.6088 rochester|ny|us
+node.geo anon-N240: 47.6062 -122.3321 seattle|wa|us
+node.geo anon-N241: 42.9634 -85.6681 grand rapids|mi|us
+node.geo anon-N242: 37.4419 -122.1430 palo alto|ca|us
+node.geo anon-N243: 3.1390 101.6869 kuala lumpur||my
+node.geo anon-N244: 34.7465 -92.2896 little rock|ar|us
+node.geo anon-N245: 44.6488 -63.5752 halifax|ns|ca
+node.geo anon-N246: 41.1171 16.8719 bari||it
+node.geo anon-N247: 63.4305 10.3951 trondheim||no
+node.geo anon-N248: 55.9533 -3.1883 edinburgh||gb
+node.geo anon-N249: 38.4784 -82.6379 ashland|ky|us
+node.geo anon-N250: 13.7563 100.5018 bangkok||th
+node.geo anon-N251: 38.0406 -84.5037 lexington|ky|us
+node.geo anon-N252: 53.1905 -2.8870 edge||gb
+node.geo anon-N253: 55.9533 -3.1883 edinburgh||gb
+node.geo anon-N254: 37.7022 -121.9358 dublin|ca|us
+node.geo anon-N255: 40.6401 22.9444 thessaloniki||gr
+node.geo anon-N256: 51.2194 4.4025 antwerp||be
+node.geo anon-N257: 39.7817 -89.6501 springfield|il|us
+node.geo anon-N258: 35.1796 129.0756 busan||kr
+node.geo anon-N259: 42.4618 14.2161 pescara||it
+node.geo anon-N260: 39.7589 -84.1916 dayton|oh|us
+node.geo anon-N261: 41.4993 -81.6944 cleveland|oh|us
+node.geo anon-N262: 11.5564 104.9282 phnom penh||kh
+node.geo anon-N263: 30.3322 -81.6557 jacksonville|fl|us
+node.geo anon-N264: 41.2565 -95.9345 omaha|ne|us
+node.geo anon-N265: 42.1946 -122.7095 ashland|or|us
+node.geo anon-N266: 33.5186 -86.8104 birmingham|al|us
+node.geo anon-N267: 38.9072 -77.0369 washington|dc|us
+node.geo anon-N268: 48.1173 -1.6778 rennes||fr
+node.geo anon-N269: 35.5466 -77.0522 washington|nc|us
+node.geo anon-N270: -30.0346 -51.2177 porto alegre|rs|br
+node.geo anon-N271: 0.3476 32.5825 kampala||ug
+node.geo anon-N272: 35.1815 136.9066 nagoya||jp
+node.geo anon-N273: 50.6292 3.0573 lille||fr
+node.geo anon-N274: 41.8781 -87.6298 chicago|il|us
+node.geo anon-N275: -6.2088 106.8456 jakarta||id
+node.geo anon-N276: 37.7022 -121.9358 dublin|ca|us
+node.geo anon-N277: 20.6597 -103.3496 guadalajara||mx
+node.geo anon-N278: 51.9244 4.4777 rotterdam||nl
+node.geo anon-N279: 13.7563 100.5018 bangkok||th
+node.geo anon-N280: 0.3476 32.5825 kampala||ug
+node.geo anon-N281: 53.5461 -113.4938 edmonton|ab|ca
+node.geo anon-N282: 16.0544 108.2022 da nang||vn
+node.geo anon-N283: 43.6591 -70.2568 portland|me|us
+node.geo anon-N284: 59.9311 30.3609 st petersburg||ru
+node.geo anon-N285: 35.5466 -77.0522 washington|nc|us
