@@ -27,10 +27,13 @@
 //	BenchmarkRunParallelTraced             worker pool with span tracing enabled
 //	BenchmarkStage2                        stage-2 tagging of one suffix group
 //	BenchmarkGeolocBatch                   geoloc.Index batch lookups, warm cache
+//	BenchmarkGoldenEndToEnd                load + learn + write over testdata/golden
+//	                                       (the corpus cmd/geobench records trajectories on)
 package hoiho_bench
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
 	"strings"
@@ -336,6 +339,29 @@ func BenchmarkGeolocBatch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ix.LookupBatch(hosts)
+	}
+}
+
+// BenchmarkGoldenEndToEnd is the full published-conventions round trip
+// over the committed golden corpus: load inputs from disk, learn, and
+// render the conventions file. cmd/geobench runs the same workload (as
+// "GoldenEndToEnd") when recording BENCH_NNNN.json trajectory files, so
+// this benchmark is the local, `go test -bench`-native view of the
+// number the regression gate tracks.
+func BenchmarkGoldenEndToEnd(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		in, err := geoloc.LoadInputs("testdata/golden")
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.Run(in, core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := core.WriteConventions(io.Discard, res); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

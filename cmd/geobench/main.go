@@ -1,0 +1,377 @@
+// Command geobench records the repo's performance trajectory: it runs
+// the registered benchmark suite (pipeline runs, stage-2 tagging,
+// serving-index batch lookups, golden-corpus end-to-end) against the
+// committed golden corpus, merges the testing.Benchmark timings with
+// the observability layer's aggregate counters and rex's compile
+// counts, and writes a schema-versioned, env/commit/date-stamped
+// BENCH_NNNN.json — the files committed at the repo root from PR 5 on.
+//
+// Usage:
+//
+//	geobench [-quick] [-o BENCH_0006.json]            record a run
+//	geobench -quick -against BENCH_0005.json          run + regression gate
+//	geobench -against a.json -candidate b.json        pure compare, no run
+//	geobench -list                                    print the suite
+//
+// Compare mode computes per-benchmark deltas of the repeat-run medians
+// and flags a regression only when a candidate is past -threshold AND
+// outside the records' combined median-absolute-deviation noise bound,
+// so scheduler jitter cannot fail the gate. Exit status: 0 clean, 1
+// regression detected, 2 usage or I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"hoiho/internal/benchrec"
+	"hoiho/internal/core"
+	"hoiho/internal/geoloc"
+	"hoiho/internal/obs"
+	"hoiho/internal/rex"
+)
+
+func main() {
+	testing.Init() // registers -test.* flags so testing.Benchmark works outside `go test`
+	corpus := flag.String("corpus", "testdata/golden", "golden corpus directory the suite runs against")
+	out := flag.String("o", "", "write the candidate record to this file")
+	against := flag.String("against", "", "baseline BENCH_*.json to compare the candidate against")
+	candPath := flag.String("candidate", "", "load the candidate from this file instead of running the suite")
+	quick := flag.Bool("quick", false, "reduced benchtime and repeats (the CI bench-record configuration)")
+	repeats := flag.Int("repeats", 0, "repeat runs per benchmark (0 = 5, or 3 with -quick)")
+	threshold := flag.Float64("threshold", benchrec.DefaultThreshold,
+		"relative slowdown that counts as a regression (with the noise bound)")
+	runPat := flag.String("run", "", "run only benchmarks matching this regexp")
+	list := flag.Bool("list", false, "list the registered suite and exit")
+	commitFlag := flag.String("commit", "", "commit id to stamp (default: git rev-parse, best effort)")
+	flag.Parse()
+
+	if *list {
+		for _, d := range suiteNames() {
+			fmt.Println(d)
+		}
+		return
+	}
+
+	cand, err := candidate(*corpus, *candPath, *out, *quick, *repeats, *runPat, *commitFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if *against == "" {
+		return
+	}
+	base, err := benchrec.ReadFile(*against)
+	if err != nil {
+		fatal(err)
+	}
+	deltas, regressed := benchrec.Compare(base, cand, *threshold)
+	if err := benchrec.FormatDeltas(os.Stdout, deltas); err != nil {
+		fatal(err)
+	}
+	if regressed {
+		fmt.Fprintf(os.Stderr, "geobench: regression against %s (threshold %.0f%% + noise bound)\n",
+			*against, 100**threshold)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "geobench: no regression against %s\n", *against)
+}
+
+// candidate produces the record under comparison: loaded from a file in
+// pure-compare mode, freshly measured otherwise.
+func candidate(corpus, candPath, out string, quick bool, repeats int, runPat, commitFlag string) (*benchrec.File, error) {
+	if candPath != "" {
+		return benchrec.ReadFile(candPath)
+	}
+	rec, err := runSuite(corpus, quick, repeats, runPat, commitFlag)
+	if err != nil {
+		return nil, err
+	}
+	if out != "" {
+		if err := rec.WriteFile(out); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "geobench: wrote %d benchmarks to %s\n", len(rec.Benchmarks), out)
+	}
+	return rec, nil
+}
+
+// runSuite measures every selected benchmark `repeats` times and stamps
+// the record.
+func runSuite(corpus string, quick bool, repeats int, runPat, commitFlag string) (*benchrec.File, error) {
+	benchtime := "1s"
+	if repeats == 0 {
+		repeats = 5
+	}
+	if quick {
+		benchtime = "100ms"
+		if repeats > 3 {
+			repeats = 3
+		}
+	}
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		return nil, err
+	}
+	var filter *regexp.Regexp
+	if runPat != "" {
+		var err error
+		if filter, err = regexp.Compile(runPat); err != nil {
+			return nil, fmt.Errorf("bad -run pattern: %w", err)
+		}
+	}
+
+	s, err := newSuite(corpus)
+	if err != nil {
+		return nil, err
+	}
+	rec := benchrec.NewFile(time.Now().UTC().Format(time.RFC3339), commitID(commitFlag), quick)
+	compiled0, probed0 := rex.CompileCounts()
+	for _, def := range s.defs {
+		if filter != nil && !filter.MatchString(def.name) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "geobench: %s (%d x %s)\n", def.name, repeats, benchtime)
+		results := make([]testing.BenchmarkResult, repeats)
+		for i := range results {
+			results[i] = testing.Benchmark(def.bench)
+		}
+		rec.Record(def.name, results)
+	}
+	if len(rec.Benchmarks) == 0 {
+		return nil, fmt.Errorf("-run %q selects no benchmarks", runPat)
+	}
+	compiled1, probed1 := rex.CompileCounts()
+	rec.Counters = s.tracedCounters()
+	rec.Counters["rex_regexes_compiled"] = compiled1 - compiled0
+	rec.Counters["rex_probes_compiled"] = probed1 - probed0
+	return rec, nil
+}
+
+// suite binds the benchmark definitions to one loaded corpus.
+type suite struct {
+	in    core.Inputs
+	res   *core.Result
+	hosts []string
+	defs  []benchDef
+}
+
+type benchDef struct {
+	name  string
+	bench func(b *testing.B)
+}
+
+func suiteNames() []string {
+	return []string{
+		"CoreRunSequential    core.Run, Workers=1",
+		"CoreRunParallel      core.Run, Workers=GOMAXPROCS",
+		"Stage2TagSuffix      stage-2 tagging of the largest suffix group",
+		"GeolocBatchColdCompile  geoloc.New + LookupBatch on cloned (uncompiled) conventions",
+		"GeolocBatchWarm      compiled index, result cache disabled",
+		"GeolocBatchCached    compiled index, warmed LRU",
+		"GoldenEndToEnd       LoadInputs + core.Run + WriteConventions",
+	}
+}
+
+func newSuite(corpus string) (*suite, error) {
+	in, err := geoloc.LoadInputs(corpus)
+	if err != nil {
+		return nil, fmt.Errorf("loading corpus (run from the repo root, or pass -corpus): %w", err)
+	}
+	res, err := core.Run(in, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	s := &suite{in: in, res: res, hosts: corpusHosts(in)}
+	if len(s.hosts) == 0 {
+		return nil, fmt.Errorf("corpus %s has no hostnames to benchmark", corpus)
+	}
+
+	seqCfg := core.DefaultConfig()
+	seqCfg.Workers = 1
+	parCfg := core.DefaultConfig()
+	parCfg.Workers = runtime.GOMAXPROCS(0)
+	suffix := largestSuffix(in)
+
+	s.defs = []benchDef{
+		{"CoreRunSequential", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(s.in, seqCfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"CoreRunParallel", func(b *testing.B) {
+			b.ReportMetric(float64(parCfg.Workers), "workers")
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(s.in, parCfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"Stage2TagSuffix", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.TagSuffix(s.in, seqCfg, suffix); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"GeolocBatchColdCompile", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cold, err := geoloc.New(cloneResult(s.res), geoloc.Options{Dict: s.in.Dict, PSL: s.in.PSL, CacheSize: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cold.LookupBatch(s.hosts)
+			}
+		}},
+		{"GeolocBatchWarm", func(b *testing.B) {
+			ix, err := geoloc.New(s.res, geoloc.Options{Dict: s.in.Dict, PSL: s.in.PSL, CacheSize: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(len(s.hosts)), "hostnames")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ix.LookupBatch(s.hosts)
+			}
+		}},
+		{"GeolocBatchCached", func(b *testing.B) {
+			ix, err := geoloc.New(s.res, geoloc.Options{Dict: s.in.Dict, PSL: s.in.PSL})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ix.LookupBatch(s.hosts) // warm the LRU
+			b.ReportMetric(float64(len(s.hosts)), "hostnames")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ix.LookupBatch(s.hosts)
+			}
+		}},
+		{"GoldenEndToEnd", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				in, err := geoloc.LoadInputs(corpus)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := core.Run(in, core.DefaultConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := core.WriteConventions(io.Discard, res); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+	return s, nil
+}
+
+// tracedCounters runs one traced pipeline + index + batch pass and
+// flattens the span aggregates into record counters: span_<stage>_count,
+// span_<stage>_us, and span_<stage>_<counter> rows.
+func (s *suite) tracedCounters() map[string]int64 {
+	counters := make(map[string]int64)
+	tr := obs.New(obs.Options{})
+	cfg := core.DefaultConfig()
+	cfg.Tracer = tr
+	res, err := core.Run(s.in, cfg)
+	if err != nil {
+		return counters
+	}
+	ix, err := geoloc.New(res, geoloc.Options{Dict: s.in.Dict, PSL: s.in.PSL, Tracer: tr})
+	if err != nil {
+		return counters
+	}
+	ix.LookupBatch(s.hosts)
+	for _, row := range tr.Summary().Stages {
+		counters["span_"+row.Name+"_count"] = row.Count
+		counters["span_"+row.Name+"_us"] = row.TotalUS
+		names := make([]string, 0, len(row.Counters))
+		for name := range row.Counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			counters["span_"+row.Name+"_"+name] = row.Counters[name]
+		}
+	}
+	return counters
+}
+
+// cloneResult deep-copies the conventions' regexes so every compile
+// cache is cold — the honest cost of standing up an index from a
+// freshly parsed conventions file.
+func cloneResult(res *core.Result) *core.Result {
+	out := *res
+	out.NCs = make(map[string]*core.NamingConvention, len(res.NCs))
+	for suffix, nc := range res.NCs {
+		c := *nc
+		c.Regexes = make([]*rex.Regex, len(nc.Regexes))
+		for i, r := range nc.Regexes {
+			c.Regexes[i] = r.Clone()
+		}
+		out.NCs[suffix] = &c
+	}
+	return &out
+}
+
+// corpusHosts collects the corpus's hostnames, sorted and capped at the
+// index's default cache size so the cached benchmark measures hits.
+func corpusHosts(in core.Inputs) []string {
+	var hosts []string
+	for _, r := range in.Corpus.Routers {
+		hosts = append(hosts, r.Hostnames()...)
+	}
+	sort.Strings(hosts)
+	if len(hosts) > geoloc.DefaultCacheSize {
+		hosts = hosts[:geoloc.DefaultCacheSize]
+	}
+	return hosts
+}
+
+// largestSuffix picks the suffix group with the most hostnames, ties
+// broken by name — the same group every run.
+func largestSuffix(in core.Inputs) string {
+	var best string
+	bestN := -1
+	for _, g := range in.Corpus.GroupBySuffix(in.PSL) {
+		n := len(g.Hosts)
+		if n > bestN || (n == bestN && g.Suffix < best) {
+			best, bestN = g.Suffix, n
+		}
+	}
+	return best
+}
+
+// commitID returns the override, or a best-effort `git rev-parse
+// --short HEAD` ("" outside a checkout).
+func commitID(override string) string {
+	if override != "" {
+		return override
+	}
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "geobench:", err)
+	os.Exit(2)
+}

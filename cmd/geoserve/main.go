@@ -16,8 +16,16 @@
 //	GET  /healthz        liveness and index size
 //	GET  /metrics        expvar counters: requests, cache hits/misses,
 //	                     matches by suffix and class, latency histogram,
-//	                     per-route span aggregates ("routes")
+//	                     per-route span aggregates ("routes") with
+//	                     status-class counts; ?format=prometheus switches
+//	                     to the text exposition format
+//	GET  /metrics/prom   Prometheus text exposition (same content)
 //	GET  /debug/pprof/   net/http/pprof profiling (heap, profile, trace, ...)
+//
+// With -runtime-sample <interval>, a background sampler records heap
+// size, goroutine count, GC pause and scheduler-latency quantiles into
+// a fixed-size ring; the newest sample is exported as gauges in the
+// Prometheus rendering.
 //
 // The process drains in-flight requests and exits cleanly on SIGINT or
 // SIGTERM.
@@ -50,6 +58,8 @@ func main() {
 	cacheSize := flag.Int("cache", geoloc.DefaultCacheSize,
 		"LRU result-cache entries (negative disables)")
 	usableOnly := flag.Bool("usable-only", false, "serve only good/promising conventions")
+	runtimeSample := flag.Duration("runtime-sample", 0,
+		"sample runtime telemetry (heap, goroutines, GC pauses) at this interval for /metrics (0 disables)")
 	flag.Parse()
 	if *ncFile == "" && *dir == "" {
 		fmt.Fprintln(os.Stderr, "geoserve: one of -nc or -corpus is required")
@@ -61,6 +71,10 @@ func main() {
 	// (with -corpus), the index build, per-batch lookups, and per-route
 	// request handling all roll up into the /metrics "routes" section.
 	tracer := obs.New(obs.Options{})
+	if *runtimeSample > 0 {
+		stop := tracer.StartRuntimeSampler(obs.RuntimeOptions{Interval: *runtimeSample})
+		defer stop()
+	}
 
 	cfg := core.DefaultConfig()
 	cfg.LearnHints = !*noLearn

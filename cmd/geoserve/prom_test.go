@@ -1,0 +1,312 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"hoiho/internal/core"
+	"hoiho/internal/geodict"
+	"hoiho/internal/geoloc"
+	"hoiho/internal/obs"
+	"hoiho/internal/psl"
+)
+
+// promServer builds a traced server with the runtime sampler on and a
+// request mix behind it: 3 geolocate hits (one batch), one 400, one
+// health check.
+func promServer(t *testing.T) *server {
+	t.Helper()
+	res, err := core.ReadConventions(strings.NewReader(testConventions))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.New(obs.Options{})
+	stop := tr.StartRuntimeSampler(obs.RuntimeOptions{Interval: time.Hour})
+	t.Cleanup(stop)
+	ix, err := geoloc.New(res, geoloc.Options{
+		Dict: geodict.MustDefault(), PSL: psl.MustDefault(), Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTracedServer(ix, tr)
+	postJSON(t, s, "/v1/geolocate", `{"hostname":"et-0.core1.sjc1.he.net"}`)
+	postJSON(t, s, "/v1/geolocate", `{"hostnames":["a.core1.lhr1.he.net","b.unknown.org"]}`)
+	postJSON(t, s, "/v1/geolocate", `{}`) // 400
+	get(t, s, "/healthz")
+	return s
+}
+
+// sampleLine matches one exposition sample: metric name, optional
+// well-formed label set, and a float value.
+var sampleLine = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)` + // metric name
+		`(?:\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\["\\n])*"` + // first label
+		`(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\["\\n])*")*\})?` + // more labels
+		` ([0-9.eE+-]+|\+Inf|NaN)$`)
+
+// TestPromConformance is the text-exposition format gate: every sample
+// belongs to a family announced by HELP and TYPE lines, label sets
+// parse with valid escaping, and histogram bucket series are monotone
+// cumulative over ascending le bounds ending at +Inf with _count equal
+// to the +Inf bucket.
+func TestPromConformance(t *testing.T) {
+	s := promServer(t)
+	w := get(t, s, "/metrics/prom")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != promContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, promContentType)
+	}
+	body := w.Body.String()
+
+	helped := map[string]bool{}
+	typed := map[string]string{}
+	type bucket struct {
+		le  float64
+		val float64
+	}
+	buckets := map[string][]bucket{} // histogram family -> ordered buckets
+	counts := map[string]float64{}   // histogram family -> _count value
+
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: blank line in exposition", ln+1)
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 4 || fields[3] == "" {
+				t.Fatalf("line %d: malformed HELP: %q", ln+1, line)
+			}
+			helped[fields[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) != 4 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			name, typ := fields[2], fields[3]
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("line %d: unknown type %q", ln+1, typ)
+			}
+			if !helped[name] {
+				t.Fatalf("line %d: TYPE %s before its HELP", ln+1, name)
+			}
+			if _, dup := typed[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln+1, name)
+			}
+			typed[name] = typ
+			continue
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: malformed sample: %q", ln+1, line)
+		}
+		name := m[1]
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && typed[base] == "histogram" {
+				family = base
+				break
+			}
+		}
+		typ, ok := typed[family]
+		if !ok {
+			t.Fatalf("line %d: sample %s has no TYPE", ln+1, name)
+		}
+		val, err := strconv.ParseFloat(m[2], 64)
+		if err != nil && m[2] != "+Inf" {
+			t.Fatalf("line %d: bad value %q", ln+1, m[2])
+		}
+		if typ == "histogram" && strings.HasSuffix(name, "_bucket") {
+			leStr := leLabel(t, line)
+			le := math.Inf(1)
+			if leStr != "+Inf" {
+				if le, err = strconv.ParseFloat(leStr, 64); err != nil {
+					t.Fatalf("line %d: bad le %q", ln+1, leStr)
+				}
+			}
+			buckets[family] = append(buckets[family], bucket{le, val})
+		}
+		if typ == "histogram" && strings.HasSuffix(name, "_count") {
+			counts[family] = val
+		}
+	}
+
+	if len(buckets) == 0 {
+		t.Fatal("no histogram buckets in exposition")
+	}
+	for family, bs := range buckets {
+		if len(bs) < 2 {
+			t.Fatalf("%s: only %d buckets", family, len(bs))
+		}
+		if !math.IsInf(bs[len(bs)-1].le, 1) {
+			t.Errorf("%s: bucket series does not end at +Inf", family)
+		}
+		for i := 1; i < len(bs); i++ {
+			if bs[i].le <= bs[i-1].le {
+				t.Errorf("%s: le bounds not ascending: %v then %v", family, bs[i-1].le, bs[i].le)
+			}
+			if bs[i].val < bs[i-1].val {
+				t.Errorf("%s: cumulative counts decrease: %v then %v", family, bs[i-1].val, bs[i].val)
+			}
+		}
+		if got := counts[family]; got != bs[len(bs)-1].val {
+			t.Errorf("%s: _count %v != +Inf bucket %v", family, got, bs[len(bs)-1].val)
+		}
+	}
+
+	// The request mix must be visible: 5 requests, 1 bad, 3 hostnames,
+	// 3 histogram observations, runtime gauges from the live sampler.
+	for _, want := range []string{
+		"geoserve_requests_total 5",
+		"geoserve_bad_requests_total 1",
+		"geoserve_hostnames_total 3",
+		`geoserve_request_duration_seconds_bucket{le="+Inf"} 3`,
+		"geoserve_runtime_heap_bytes",
+		"geoserve_runtime_goroutines",
+		`geoserve_index_suffix_matches_total{suffix="he.net"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q\n%s", want, body)
+		}
+	}
+}
+
+// leLabel extracts the le label value from a bucket sample line.
+func leLabel(t *testing.T, line string) string {
+	t.Helper()
+	m := regexp.MustCompile(`le="([^"]*)"`).FindStringSubmatch(line)
+	if m == nil {
+		t.Fatalf("bucket sample without le label: %q", line)
+	}
+	return m[1]
+}
+
+// TestPromFormatSelection: the query-parameter form serves the same
+// exposition; unknown formats are 400s.
+func TestPromFormatSelection(t *testing.T) {
+	s := promServer(t)
+	w := get(t, s, "/metrics?format=prometheus")
+	if w.Code != http.StatusOK || w.Header().Get("Content-Type") != promContentType {
+		t.Errorf("format=prometheus: status %d, type %q", w.Code, w.Header().Get("Content-Type"))
+	}
+	if !strings.Contains(w.Body.String(), "# TYPE geoserve_requests_total counter") {
+		t.Error("format=prometheus body is not the exposition")
+	}
+	if w := get(t, s, "/metrics?format=xml"); w.Code != http.StatusBadRequest {
+		t.Errorf("format=xml: status %d, want 400", w.Code)
+	}
+	if w := get(t, s, "/metrics?format=json"); w.Code != http.StatusOK ||
+		w.Header().Get("Content-Type") != "application/json" {
+		t.Errorf("format=json: status %d, type %q", w.Code, w.Header().Get("Content-Type"))
+	}
+}
+
+// TestLatencyBucketOrder pins the numeric bucket order in both
+// renderings — the expvar lexical-sort bug this layer replaced put
+// "inf" first and "10ms" before "1ms".
+func TestLatencyBucketOrder(t *testing.T) {
+	s := promServer(t)
+
+	body := get(t, s, "/metrics").Body.String()
+	want := []string{`"le_100us"`, `"le_1ms"`, `"le_10ms"`, `"le_100ms"`, `"inf"`}
+	last := -1
+	for _, key := range want {
+		idx := strings.Index(body, key)
+		if idx < 0 {
+			t.Fatalf("JSON metrics missing bucket %s:\n%s", key, body)
+		}
+		if idx < last {
+			t.Errorf("JSON bucket %s out of numeric order", key)
+		}
+		last = idx
+	}
+	var m struct {
+		Latency map[string]int64 `json:"latency_us"`
+	}
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Fatalf("ordered latency object is not valid JSON: %v", err)
+	}
+	if len(m.Latency) != len(latencyBuckets)+1 {
+		t.Errorf("latency histogram has %d keys, want %d", len(m.Latency), len(latencyBuckets)+1)
+	}
+
+	prom := get(t, s, "/metrics/prom").Body.String()
+	var les []string
+	for _, line := range strings.Split(prom, "\n") {
+		if strings.HasPrefix(line, "geoserve_request_duration_seconds_bucket") {
+			les = append(les, leLabel(t, line))
+		}
+	}
+	if wantLes := []string{"0.0001", "0.001", "0.01", "0.1", "+Inf"}; fmt.Sprint(les) != fmt.Sprint(wantLes) {
+		t.Errorf("prom le order = %v, want %v", les, wantLes)
+	}
+}
+
+// TestRouteStatusClasses: the status-capturing writer attributes
+// response classes per route in both renderings.
+func TestRouteStatusClasses(t *testing.T) {
+	s := promServer(t) // 2 OK + 1 bad on /v1/geolocate, 1 OK on /healthz
+
+	var m struct {
+		Routes obs.Summary `json:"routes"`
+	}
+	if err := json.Unmarshal(get(t, s, "/metrics").Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]obs.SummaryRow{}
+	for _, row := range m.Routes.Keys {
+		byKey[row.Name] = row
+	}
+	geo := byKey["POST /v1/geolocate"]
+	if geo.Counters["status_2xx"] != 2 || geo.Counters["status_4xx"] != 1 {
+		t.Errorf("geolocate status counters = %v, want 2xx=2 4xx=1", geo.Counters)
+	}
+	if byKey["GET /healthz"].Counters["status_2xx"] != 1 {
+		t.Errorf("healthz status counters = %v", byKey["GET /healthz"].Counters)
+	}
+
+	prom := get(t, s, "/metrics/prom").Body.String()
+	for _, want := range []string{
+		`geoserve_route_status_total{route="POST /v1/geolocate",class="2xx"} 2`,
+		`geoserve_route_status_total{route="POST /v1/geolocate",class="4xx"} 1`,
+		`geoserve_route_status_total{route="GET /healthz",class="2xx"} 1`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("exposition missing %q\n%s", want, prom)
+		}
+	}
+}
+
+// TestEscapeLabel covers the three escaped characters.
+func TestEscapeLabel(t *testing.T) {
+	if got := escapeLabel(`a"b\c` + "\nd"); got != `a\"b\\c\nd` {
+		t.Errorf("escapeLabel = %q", got)
+	}
+	if got := escapeLabel("plain"); got != "plain" {
+		t.Errorf("escapeLabel(plain) = %q", got)
+	}
+}
+
+// TestStatusClass covers the bucketing helper's edges.
+func TestStatusClass(t *testing.T) {
+	for code, want := range map[int]string{
+		200: "2xx", 204: "2xx", 301: "3xx", 400: "4xx", 404: "4xx",
+		500: "5xx", 599: "5xx", 42: "other", 700: "other",
+	} {
+		if got := statusClass(code); got != want {
+			t.Errorf("statusClass(%d) = %q, want %q", code, got, want)
+		}
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"hoiho/internal/core"
@@ -23,12 +25,14 @@ const maxBatch = 10000
 // servers); the /metrics handler merges them with the index's own
 // counters.
 type server struct {
-	ix      *geoloc.Index
-	mux     *http.ServeMux
-	vars    *expvar.Map // requests, bad_requests, hostnames by endpoint
-	latency *expvar.Map // /v1/geolocate latency histogram buckets
-	tracer  *obs.Tracer // aggregate-only: per-route spans for /metrics
-	start   time.Time
+	ix       *geoloc.Index
+	mux      *http.ServeMux
+	vars     *expvar.Map // requests, bad_requests, hostnames by endpoint
+	latency  *expvar.Map // /v1/geolocate latency histogram buckets
+	latSumUS atomic.Int64
+	tracer   *obs.Tracer // aggregate-only: per-route spans for /metrics
+	patterns []string    // registered route patterns, in registration order
+	start    time.Time
 }
 
 func newServer(ix *geoloc.Index) *server {
@@ -57,6 +61,7 @@ func newTracedServer(ix *geoloc.Index, tr *obs.Tracer) *server {
 	s.route("POST /v1/geolocate", s.handleGeolocate)
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /metrics", s.handleMetrics)
+	s.route("GET /metrics/prom", s.handleMetricsProm)
 	// Profiling endpoints, registered explicitly (the pprof package's
 	// side-effect registration only covers http.DefaultServeMux).
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -68,17 +73,41 @@ func newTracedServer(ix *geoloc.Index, tr *obs.Tracer) *server {
 }
 
 // route registers a handler wrapped in an "http" span keyed by the
-// route pattern, feeding the per-route section of /metrics. Profiling
-// routes stay unwrapped — a 30-second CPU profile would dominate every
-// latency aggregate.
+// route pattern, feeding the per-route section of /metrics. The span
+// also counts the response's status class (2xx/4xx/5xx), captured by a
+// statusWriter. Profiling routes stay unwrapped — a 30-second CPU
+// profile would dominate every latency aggregate.
 func (s *server) route(pattern string, h http.HandlerFunc) {
+	s.patterns = append(s.patterns, pattern)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		sp := s.tracer.Start("http")
 		sp.SetKey(pattern)
 		sp.Count("requests", 1)
-		h(w, r)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		sp.Count("status_"+statusClass(sw.code), 1)
 		sp.End()
 	})
+}
+
+// statusWriter captures the status code a handler writes (200 when the
+// handler never calls WriteHeader explicitly).
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// statusClass buckets a status code into "2xx" / "4xx" / ... form.
+func statusClass(code int) string {
+	if code < 100 || code > 599 {
+		return "other"
+	}
+	return fmt.Sprintf("%dxx", code/100)
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -174,9 +203,18 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics emits one JSON document: the server's expvar counters,
 // the /v1/geolocate latency histogram, the index's lookup counters, and
-// the per-route span aggregates. expvar.Map.String() is already JSON,
-// so the parts are spliced.
+// the per-route span aggregates. `?format=prometheus` switches to the
+// text exposition format (also served at /metrics/prom).
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	switch f := r.URL.Query().Get("format"); f {
+	case "", "json":
+	case "prometheus", "prom":
+		s.handleMetricsProm(w, r)
+		return
+	default:
+		s.badRequest(w, fmt.Sprintf("unknown format %q (want json or prometheus)", f))
+		return
+	}
 	index, err := json.Marshal(s.ix.Stats())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -189,26 +227,49 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, `{"server":%s,"latency_us":%s,"index":%s,"routes":%s}`+"\n",
-		s.vars.String(), s.latency.String(), index, routes)
+		s.vars.String(), s.latencyJSON(), index, routes)
+}
+
+// latencyJSON renders the latency histogram with buckets in numeric
+// order. expvar.Map.String() sorts keys lexically — which would put
+// "inf" first and interleave bucket bounds ("le_10ms" < "le_1ms") — so
+// the object is assembled by hand from the canonical bucket slice.
+func (s *server) latencyJSON() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for _, bucket := range latencyBuckets {
+		fmt.Fprintf(&b, "%q: %d, ", bucket.name, s.bucketValue(bucket.name))
+	}
+	fmt.Fprintf(&b, "%q: %d}", bucketInf, s.bucketValue(bucketInf))
+	return b.String()
+}
+
+// bucketValue reads one histogram counter (0 when never incremented).
+func (s *server) bucketValue(name string) int64 {
+	if v, ok := s.latency.Get(name).(*expvar.Int); ok {
+		return v.Value()
+	}
+	return 0
 }
 
 // latencyBuckets are the upper bounds of the /v1/geolocate latency
-// histogram, in microseconds; requests above the last bound land in
-// bucketInf.
+// histogram, in ascending order; requests above the last bound land in
+// bucketInf. Names carry units so the rendered order reads naturally.
 var latencyBuckets = []struct {
 	name string
 	le   time.Duration
 }{
-	{"le_100", 100 * time.Microsecond},
-	{"le_1000", time.Millisecond},
-	{"le_10000", 10 * time.Millisecond},
-	{"le_100000", 100 * time.Millisecond},
+	{"le_100us", 100 * time.Microsecond},
+	{"le_1ms", time.Millisecond},
+	{"le_10ms", 10 * time.Millisecond},
+	{"le_100ms", 100 * time.Millisecond},
 }
 
 const bucketInf = "inf"
 
 func (s *server) observeLatency(start time.Time) {
 	d := time.Since(start)
+	s.latSumUS.Add(int64(d / time.Microsecond))
 	for _, b := range latencyBuckets {
 		if d <= b.le {
 			s.latency.Add(b.name, 1)

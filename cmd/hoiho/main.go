@@ -29,6 +29,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"hoiho/internal/asn"
 	"hoiho/internal/core"
@@ -52,6 +53,8 @@ func main() {
 	traceOut := flag.String("trace", "", "write a JSONL span trace of the run to this file")
 	traceSummary := flag.Bool("tracesummary", false,
 		"print the aggregated per-stage/per-suffix span table to stderr")
+	runtimeStats := flag.Bool("runtimestats", false,
+		"sample runtime telemetry (heap, goroutines, GC pauses) during the run and print it to stderr")
 	flag.Parse()
 	if *dir == "" && *ncFile == "" {
 		fmt.Fprintln(os.Stderr, "hoiho: one of -corpus or -nc is required")
@@ -64,8 +67,15 @@ func main() {
 	// Raw spans are only retained when a -trace file will consume them;
 	// -tracesummary alone runs in constant memory off the aggregates.
 	var tracer *obs.Tracer
-	if *traceOut != "" || *traceSummary {
+	if *traceOut != "" || *traceSummary || *runtimeStats {
 		tracer = obs.New(obs.Options{RetainSpans: *traceOut != ""})
+	}
+	// A CLI run lasts seconds, not hours: sample at 1s so a learning run
+	// yields a usable trajectory (the first sample is synchronous, so
+	// even a sub-second run records one).
+	var stopSampler func()
+	if *runtimeStats {
+		stopSampler = tracer.StartRuntimeSampler(obs.RuntimeOptions{Interval: time.Second})
 	}
 
 	var res *core.Result
@@ -198,6 +208,12 @@ func main() {
 	}
 	if *traceSummary {
 		if err := tracer.Summary().Format(os.Stderr); err != nil {
+			fatal(err)
+		}
+	}
+	if *runtimeStats {
+		stopSampler()
+		if err := obs.FormatRuntimeSamples(os.Stderr, tracer.RuntimeSamples()); err != nil {
 			fatal(err)
 		}
 	}

@@ -1,0 +1,62 @@
+package hoiho_bench
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hoiho/internal/benchrec"
+)
+
+// TestGeobenchCompareExitCodes drives the geobench regression gate end
+// to end in pure-compare mode (no benchmarks run): a record compared
+// against itself exits 0, and a synthetic 2x-slower injected candidate
+// exits nonzero — the contract CI's bench-record job relies on.
+func TestGeobenchCompareExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the geobench binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "geobench")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/geobench").CombinedOutput(); err != nil {
+		t.Fatalf("build geobench: %v\n%s", err, out)
+	}
+
+	write := func(name string, scale float64) string {
+		f := benchrec.NewFile("2026-08-06T00:00:00Z", "deadbee", true)
+		f.Benchmarks = []benchrec.Benchmark{
+			{Name: "CoreRunParallel", Samples: []float64{1e6 * scale, 1.02e6 * scale, 0.99e6 * scale},
+				NsPerOp: 1e6 * scale, MADNs: 1e4 * scale},
+			{Name: "GeolocBatchCached", Samples: []float64{2e5 * scale},
+				NsPerOp: 2e5 * scale, MADNs: 1e3 * scale},
+		}
+		path := filepath.Join(dir, name)
+		if err := f.WriteFile(path); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", 1)
+	slow := write("slow.json", 2)
+
+	out, err := exec.Command(bin, "-against", base, "-candidate", base).CombinedOutput()
+	if err != nil {
+		t.Fatalf("self-compare exited nonzero: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "no regression") {
+		t.Errorf("self-compare output missing verdict:\n%s", out)
+	}
+
+	out, err = exec.Command(bin, "-against", base, "-candidate", slow).CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("2x-slower candidate: err = %v (want exit error)\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Errorf("2x-slower candidate exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "REGRESSION") {
+		t.Errorf("regression verdict missing from output:\n%s", out)
+	}
+}

@@ -1,0 +1,149 @@
+package benchrec
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Verdict classifies one benchmark's movement between two records.
+type Verdict string
+
+// Verdicts. Regression and Faster both require the change to clear the
+// relative threshold and the noise bound; Ok covers everything within
+// them. Added/Removed mark suite membership changes, which never fail a
+// comparison on their own (the suite evolves PR over PR) but are
+// reported so a silently dropped benchmark is visible.
+const (
+	Ok         Verdict = "ok"
+	Faster     Verdict = "faster"
+	Regression Verdict = "REGRESSION"
+	Added      Verdict = "added"
+	Removed    Verdict = "removed"
+)
+
+// Delta is one benchmark's comparison row.
+type Delta struct {
+	Name    string
+	Base    float64 // baseline median ns/op (0 for Added)
+	Cand    float64 // candidate median ns/op (0 for Removed)
+	Ratio   float64 // Cand/Base (0 when either side is missing)
+	NoiseNs float64 // combined noise bound, ns
+	Verdict Verdict
+}
+
+// DefaultThreshold is the relative slowdown that counts as a
+// regression: a candidate median more than 30% over baseline (and past
+// the noise bound) fails. Generous on purpose — shared CI machines are
+// noisy, and the MAD gate below only models run-to-run variance within
+// one record, not machine-to-machine drift.
+const DefaultThreshold = 0.30
+
+// noiseK scales the combined MAD into the noise bound. 3 MADs ≈ 2σ for
+// Gaussian noise — movements within it are indistinguishable from
+// scheduler jitter regardless of the relative threshold.
+const noiseK = 3.0
+
+// Compare evaluates candidate against baseline benchmark-by-benchmark.
+// It returns one Delta per benchmark name (union of both records,
+// sorted by name) and whether any verdict is a Regression.
+func Compare(baseline, candidate *File, threshold float64) ([]Delta, bool) {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	base := make(map[string]Benchmark, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		base[b.Name] = b
+	}
+	cand := make(map[string]Benchmark, len(candidate.Benchmarks))
+	for _, b := range candidate.Benchmarks {
+		cand[b.Name] = b
+	}
+	var names []string
+	for _, b := range baseline.Benchmarks {
+		names = append(names, b.Name)
+	}
+	for _, b := range candidate.Benchmarks {
+		if _, ok := base[b.Name]; !ok {
+			names = append(names, b.Name)
+		}
+	}
+	sort.Strings(names)
+
+	var deltas []Delta
+	regressed := false
+	for _, name := range names {
+		b, inBase := base[name]
+		c, inCand := cand[name]
+		d := Delta{Name: name}
+		switch {
+		case !inBase:
+			d.Cand = c.NsPerOp
+			d.Verdict = Added
+		case !inCand:
+			d.Base = b.NsPerOp
+			d.Verdict = Removed
+		default:
+			d.Base, d.Cand = b.NsPerOp, c.NsPerOp
+			d.NoiseNs = noiseK * (b.MADNs + c.MADNs)
+			if d.Base > 0 {
+				d.Ratio = d.Cand / d.Base
+			}
+			d.Verdict = verdict(d, threshold)
+			if d.Verdict == Regression {
+				regressed = true
+			}
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas, regressed
+}
+
+// verdict applies the two-gate rule: relative threshold AND noise bound.
+func verdict(d Delta, threshold float64) Verdict {
+	if d.Base <= 0 {
+		return Ok
+	}
+	diff := d.Cand - d.Base
+	switch {
+	case diff > threshold*d.Base && diff > d.NoiseNs:
+		return Regression
+	case -diff > threshold*d.Base && -diff > d.NoiseNs:
+		return Faster
+	default:
+		return Ok
+	}
+}
+
+// FormatDeltas renders the comparison as an aligned table.
+func FormatDeltas(w io.Writer, deltas []Delta) error {
+	nameW := len("benchmark")
+	for _, d := range deltas {
+		if len(d.Name) > nameW {
+			nameW = len(d.Name)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-*s  %14s  %14s  %8s  %s\n",
+		nameW, "benchmark", "base", "candidate", "delta", "verdict"); err != nil {
+		return err
+	}
+	for _, d := range deltas {
+		ratio := "-"
+		if d.Ratio > 0 {
+			ratio = fmt.Sprintf("%+.1f%%", 100*(d.Ratio-1))
+		}
+		if _, err := fmt.Fprintf(w, "%-*s  %14s  %14s  %8s  %s\n",
+			nameW, d.Name, fmtNs(d.Base), fmtNs(d.Cand), ratio, d.Verdict); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fmtNs(ns float64) string {
+	if ns <= 0 {
+		return "-"
+	}
+	return time.Duration(ns).Round(time.Microsecond / 10).String()
+}

@@ -141,6 +141,7 @@ func All() []*Analyzer {
 		Maporder(),
 		Nakedgo(),
 		Randsource(),
+		Tickerstop(),
 	}
 	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
 	return as

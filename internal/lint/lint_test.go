@@ -551,12 +551,12 @@ func Dump(t *table.Table) {
 	}
 }
 
-// TestAllSortedAndNamed pins the registry: five analyzers, sorted,
+// TestAllSortedAndNamed pins the registry: six analyzers, sorted,
 // each documented.
 func TestAllSortedAndNamed(t *testing.T) {
 	as := All()
-	if len(as) != 5 {
-		t.Fatalf("got %d analyzers, want 5", len(as))
+	if len(as) != 6 {
+		t.Fatalf("got %d analyzers, want 6", len(as))
 	}
 	var names []string
 	for _, a := range as {
@@ -565,7 +565,7 @@ func TestAllSortedAndNamed(t *testing.T) {
 		}
 		names = append(names, a.Name)
 	}
-	want := "hotcompile,lazyinit,maporder,nakedgo,randsource"
+	want := "hotcompile,lazyinit,maporder,nakedgo,randsource,tickerstop"
 	if got := strings.Join(names, ","); got != want {
 		t.Fatalf("analyzers = %s, want %s", got, want)
 	}

@@ -1,0 +1,146 @@
+package lint
+
+import "testing"
+
+func TestTickerstopFlagged(t *testing.T) {
+	src := `package fix
+
+import "time"
+
+// Never stopped: used only through C.
+func pollForever(every time.Duration) {
+	t := time.NewTicker(every)
+	for range t.C {
+	}
+}
+
+// Inline form: the Ticker is unreachable after evaluation.
+func waitOne(every time.Duration) {
+	<-time.NewTicker(every).C
+}
+
+// Result discarded outright.
+func discard(every time.Duration) {
+	_ = time.NewTimer(every)
+}
+
+// Bare call statement.
+func bare(every time.Duration) {
+	time.NewTicker(every)
+}
+`
+	diags := runCheck(t, Tickerstop(), "tickerstop_flagged.go", src)
+	wantFindings(t, diags, "tickerstop", 7, 14, 19, 24)
+}
+
+func TestTickerstopClean(t *testing.T) {
+	src := `package fix
+
+import "time"
+
+// The canonical shape: defer Stop in the same function.
+func sample(every time.Duration, done chan struct{}) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-done:
+			return
+		}
+	}
+}
+
+// Stop inside the goroutine the ticker drives — nested literals count
+// as evidence for the creating scope.
+func spawn(every time.Duration, done chan struct{}) {
+	t := time.NewTicker(every)
+	go func() {
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+// Escapes: returned, stored in a field, passed along — Stop is the
+// new owner's job.
+func build(every time.Duration) *time.Ticker {
+	return time.NewTicker(every)
+}
+
+type sampler struct {
+	tick *time.Ticker
+}
+
+func (s *sampler) init(every time.Duration) {
+	s.tick = time.NewTicker(every)
+}
+
+func handoff(every time.Duration, sink func(*time.Ticker)) {
+	t := time.NewTicker(every)
+	sink(t)
+}
+
+// Timer variant with an explicit Stop on the drain path.
+func timeout(d time.Duration, ch chan int) int {
+	tm := time.NewTimer(d)
+	select {
+	case v := <-ch:
+		tm.Stop()
+		return v
+	case <-tm.C:
+		return -1
+	}
+}
+`
+	if diags := runCheck(t, Tickerstop(), "tickerstop_clean.go", src); len(diags) != 0 {
+		t.Fatalf("clean fixture flagged: %v", diags)
+	}
+}
+
+// TestTickerstopShadowing: a same-named non-timer variable must not be
+// mistaken for evidence, and an inner shadowing ticker is judged in its
+// own right.
+func TestTickerstopShadowing(t *testing.T) {
+	src := `package fix
+
+import "time"
+
+type stopper struct{}
+
+func (stopper) Stop() {}
+
+// The t.Stop() here is on a stopper, not the ticker: still a leak.
+func shadowed(every time.Duration) {
+	tick := time.NewTicker(every)
+	_ = tick.C
+	t := stopper{}
+	t.Stop()
+}
+`
+	diags := runCheck(t, Tickerstop(), "tickerstop_shadow.go", src)
+	wantFindings(t, diags, "tickerstop", 11)
+}
+
+// TestTickerstopIgnoreDirective: a justified suppression is honored.
+func TestTickerstopIgnoreDirective(t *testing.T) {
+	src := `package fix
+
+import "time"
+
+func intentional(every time.Duration) {
+	//lint:ignore tickerstop process-lifetime ticker, stopped by exit
+	t := time.NewTicker(every)
+	for range t.C {
+	}
+}
+`
+	if diags := runCheck(t, Tickerstop(), "tickerstop_ignored.go", src); len(diags) != 0 {
+		t.Fatalf("suppressed finding survived: %v", diags)
+	}
+}

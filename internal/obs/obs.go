@@ -62,6 +62,13 @@ type Tracer struct {
 	finished []spanRecord
 	agg      map[string]*aggregate // per span name
 	keyAgg   map[string]*aggregate // per span key (suffix, route, ...)
+
+	// Runtime-telemetry ring (see runtime.go). Guarded by its own mutex
+	// so a sampler tick never contends with span recording.
+	rtMu    sync.Mutex
+	rtRing  []RuntimeSample
+	rtNext  int
+	rtCount int
 }
 
 // New returns a Tracer ready to record.

@@ -75,11 +75,26 @@ func (s Summary) Format(w io.Writer) error {
 	return formatRows(w, "key", s.Keys)
 }
 
+// maxNameWidth caps the name/key column of the text table. Keys are
+// suffixes, routes, or world names; a pathological hostname suffix must
+// not push the timing columns off-screen. The JSON summary always
+// carries the full key — truncation is display-only.
+const maxNameWidth = 48
+
+// truncName shortens s to maxNameWidth display bytes, marking the cut
+// with an ellipsis.
+func truncName(s string) string {
+	if len(s) <= maxNameWidth {
+		return s
+	}
+	return s[:maxNameWidth-3] + "..."
+}
+
 func formatRows(w io.Writer, header string, rows []SummaryRow) error {
 	nameW, countW := len(header), len("count")
 	for _, r := range rows {
-		if len(r.Name) > nameW {
-			nameW = len(r.Name)
+		if n := len(truncName(r.Name)); n > nameW {
+			nameW = n
 		}
 		if n := len(fmt.Sprintf("%d", r.Count)); n > countW {
 			countW = n
@@ -91,7 +106,7 @@ func formatRows(w io.Writer, header string, rows []SummaryRow) error {
 	for _, r := range rows {
 		total := time.Duration(r.TotalUS) * time.Microsecond
 		if _, err := fmt.Fprintf(w, "%-*s  %*d  %12s  %s\n",
-			nameW, r.Name, countW, r.Count, total, formatCounters(r.Counters)); err != nil {
+			nameW, truncName(r.Name), countW, r.Count, total, formatCounters(r.Counters)); err != nil {
 			return err
 		}
 	}

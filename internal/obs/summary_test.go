@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSummaryEmptyTracer: a live tracer with no finished spans yields
+// empty tables and a header-only text rendering — no panic, no rows.
+func TestSummaryEmptyTracer(t *testing.T) {
+	tr := New(Options{})
+	s := tr.Summary()
+	if len(s.Stages) != 0 || len(s.Keys) != 0 {
+		t.Fatalf("empty tracer summary = %+v, want empty tables", s)
+	}
+	var buf strings.Builder
+	if err := s.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 1 || !strings.Contains(lines[0], "stage") {
+		t.Fatalf("empty summary rendered %d lines:\n%s", len(lines), buf.String())
+	}
+}
+
+// TestSummarySingleSpan: one span, no key — exactly one stage row, no
+// key table.
+func TestSummarySingleSpan(t *testing.T) {
+	tr := New(Options{Clock: FrozenClock})
+	sp := tr.Start("run")
+	sp.Count("hostnames", 3)
+	sp.End()
+	s := tr.Summary()
+	if len(s.Stages) != 1 || len(s.Keys) != 0 {
+		t.Fatalf("summary = %+v, want one stage row and no key rows", s)
+	}
+	row := s.Stages[0]
+	if row.Name != "run" || row.Count != 1 || row.Counters["hostnames"] != 3 {
+		t.Fatalf("row = %+v", row)
+	}
+	var buf strings.Builder
+	if err := s.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "key") {
+		t.Fatalf("key table rendered with no keyed spans:\n%s", buf.String())
+	}
+}
+
+// TestSummaryZeroDurationSpans: spans whose start and end coincide
+// (frozen clock) aggregate to zero total time; ties sort by name so the
+// table order is still deterministic.
+func TestSummaryZeroDurationSpans(t *testing.T) {
+	tr := New(Options{Clock: FrozenClock})
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		sp := tr.Start(name)
+		sp.End()
+	}
+	s := tr.Summary()
+	if len(s.Stages) != 3 {
+		t.Fatalf("got %d rows, want 3", len(s.Stages))
+	}
+	wantOrder := []string{"alpha", "mid", "zeta"}
+	for i, row := range s.Stages {
+		if row.TotalUS != 0 {
+			t.Errorf("row %q TotalUS = %d, want 0 under frozen clock", row.Name, row.TotalUS)
+		}
+		if row.Name != wantOrder[i] {
+			t.Errorf("row %d = %q, want %q (name order on zero-duration ties)", i, row.Name, wantOrder[i])
+		}
+	}
+	var buf strings.Builder
+	if err := s.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0s") {
+		t.Fatalf("zero duration not rendered:\n%s", buf.String())
+	}
+}
+
+// TestSummaryKeyTruncation: a pathologically long key is truncated in
+// the -tracesummary text table (display only) while the structured
+// summary keeps the full key.
+func TestSummaryKeyTruncation(t *testing.T) {
+	long := strings.Repeat("verylongsubdomain.", 5) + "example.net" // 101 bytes
+	tr := New(Options{Clock: FrozenClock})
+	sp := tr.Start("group")
+	sp.SetKey(long)
+	sp.End()
+	s := tr.Summary()
+	if len(s.Keys) != 1 || s.Keys[0].Name != long {
+		t.Fatalf("structured summary must keep the full key, got %+v", s.Keys)
+	}
+	var buf strings.Builder
+	if err := s.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, long) {
+		t.Fatalf("full %d-byte key rendered untruncated:\n%s", len(long), out)
+	}
+	want := long[:maxNameWidth-3] + "..."
+	if !strings.Contains(out, want) {
+		t.Fatalf("truncated key %q missing from:\n%s", want, out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, long[:10]) && !strings.Contains(line, "...") {
+			t.Fatalf("key row lost its ellipsis: %q", line)
+		}
+	}
+}
+
+// TestTruncNameBoundary: exactly-at-limit names pass through untouched.
+func TestTruncNameBoundary(t *testing.T) {
+	at := strings.Repeat("a", maxNameWidth)
+	if got := truncName(at); got != at {
+		t.Errorf("truncName(len=%d) = %q, want unchanged", maxNameWidth, got)
+	}
+	over := at + "b"
+	got := truncName(over)
+	if len(got) != maxNameWidth || !strings.HasSuffix(got, "...") {
+		t.Errorf("truncName(len=%d) = %q (len %d), want %d bytes ending in ellipsis",
+			len(over), got, len(got), maxNameWidth)
+	}
+}
+
+// TestSummaryFormatAlignment: the count column right-aligns to the
+// widest count even with multi-digit mixes.
+func TestSummaryFormatAlignment(t *testing.T) {
+	tr := New(Options{Clock: func() time.Duration { return 0 }})
+	for i := 0; i < 12; i++ {
+		sp := tr.Start("many")
+		sp.End()
+	}
+	one := tr.Start("one")
+	one.End()
+	var buf strings.Builder
+	if err := tr.Summary().Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "12") || !strings.Contains(out, " 1 ") {
+		t.Fatalf("counts missing:\n%s", out)
+	}
+}
