@@ -134,6 +134,7 @@ func runSuite(corpus string, quick bool, repeats int, runPat, commitFlag string)
 	}
 	rec := benchrec.NewFile(time.Now().UTC().Format(time.RFC3339), commitID(commitFlag), quick)
 	compiled0, probed0 := rex.CompileCounts()
+	matchers0, fallbacks0 := rex.MatcherCounts()
 	for _, def := range s.defs {
 		if filter != nil && !filter.MatchString(def.name) {
 			continue
@@ -149,9 +150,12 @@ func runSuite(corpus string, quick bool, repeats int, runPat, commitFlag string)
 		return nil, fmt.Errorf("-run %q selects no benchmarks", runPat)
 	}
 	compiled1, probed1 := rex.CompileCounts()
+	matchers1, fallbacks1 := rex.MatcherCounts()
 	rec.Counters = s.tracedCounters()
 	rec.Counters["rex_regexes_compiled"] = compiled1 - compiled0
 	rec.Counters["rex_probes_compiled"] = probed1 - probed0
+	rec.Counters["rex_matchers_compiled"] = matchers1 - matchers0
+	rec.Counters["rex_matcher_fallbacks"] = fallbacks1 - fallbacks0
 	return rec, nil
 }
 
@@ -197,7 +201,15 @@ func newSuite(corpus string) (*suite, error) {
 	seqCfg := core.DefaultConfig()
 	seqCfg.Workers = 1
 	parCfg := core.DefaultConfig()
-	parCfg.Workers = runtime.GOMAXPROCS(0)
+	// CoreRunParallel must drive the worker pool for real: BENCH_0005
+	// recorded workers:1 (GOMAXPROCS on a single-CPU bench host), which
+	// made it a duplicate of CoreRunSequential. Pin to min(4, GOMAXPROCS)
+	// so big hosts do not skew the trajectory, floored at 2 so the pool
+	// path (goroutine fan-out, ordered merge) is exercised everywhere.
+	parCfg.Workers = min(4, runtime.GOMAXPROCS(0))
+	if parCfg.Workers < 2 {
+		parCfg.Workers = 2
+	}
 	suffix := largestSuffix(in)
 
 	s.defs = []benchDef{

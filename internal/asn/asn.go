@@ -11,7 +11,6 @@
 package asn
 
 import (
-	"fmt"
 	"net/netip"
 	"regexp"
 	"sort"
@@ -85,9 +84,16 @@ func (c *Convention) PPV() float64 {
 	return float64(c.TP) / float64(c.TP+c.FP)
 }
 
-// ExtractASN applies the convention to a hostname.
+// ExtractASN applies the convention to a hostname. The compiled regex
+// is the suffix-stripped template, so the hostname's suffix is cut
+// first; a hostname outside the suffix never matches, exactly as the
+// full pattern (which ends in the literal suffix) would fail.
 func (c *Convention) ExtractASN(host string) (uint32, bool) {
-	m := c.re.FindStringSubmatch(strings.ToLower(host))
+	u, ok := strings.CutSuffix(strings.ToLower(host), c.Suffix)
+	if !ok {
+		return 0, false
+	}
+	m := c.re.FindStringSubmatch(u)
 	if m == nil {
 		return 0, false
 	}
@@ -98,15 +104,25 @@ func (c *Convention) ExtractASN(host string) (uint32, bool) {
 	return uint32(n), true
 }
 
-// candidatePatterns is the template family; <sfx> is the escaped
+// template pairs a candidate pattern shape with its compiled form.
+// Every shape ends in the literal `<sfx>$`, so the full pattern matches
+// a hostname iff the hostname ends with the suffix and the stripped
+// pattern matches the rest, with identical submatches — the regexes
+// compile once at package init instead of once per suffix per Learn.
+type template struct {
+	pattern string         // published shape, with the <sfx> placeholder
+	re      *regexp.Regexp // compiled with <sfx> removed
+}
+
+// candidateTemplates is the template family; <sfx> is the escaped
 // suffix. The shapes cover the conventions the IMC 2020 paper reports:
 // "as"-prefixed numbers in any label and bare leading numbers.
-var candidatePatterns = []string{
-	`^as(\d+)(?:-[^\.]*)?\..*<sfx>$`,     // as8218-acme.…
-	`^.+\.as(\d+)(?:-[^\.]*)?\..*<sfx>$`, // x.as8218-acme.…
-	`^as(\d+)\..*<sfx>$`,                 // as8218.…
-	`^(\d+)\..*<sfx>$`,                   // 8218.…
-	`^[^\.]+-as(\d+)\..*<sfx>$`,          // acme-as8218.…
+var candidateTemplates = []template{
+	{`^as(\d+)(?:-[^\.]*)?\..*<sfx>$`, regexp.MustCompile(`^as(\d+)(?:-[^\.]*)?\..*$`)},         // as8218-acme.…
+	{`^.+\.as(\d+)(?:-[^\.]*)?\..*<sfx>$`, regexp.MustCompile(`^.+\.as(\d+)(?:-[^\.]*)?\..*$`)}, // x.as8218-acme.…
+	{`^as(\d+)\..*<sfx>$`, regexp.MustCompile(`^as(\d+)\..*$`)},                                 // as8218.…
+	{`^(\d+)\..*<sfx>$`, regexp.MustCompile(`^(\d+)\..*$`)},                                     // 8218.…
+	{`^[^\.]+-as(\d+)\..*<sfx>$`, regexp.MustCompile(`^[^\.]+-as(\d+)\..*$`)},                   // acme-as8218.…
 }
 
 // Config bounds what Learn accepts.
@@ -161,14 +177,9 @@ func learnSuffix(group *itdk.SuffixGroup, mapping Mapping, cfg Config) *Conventi
 	}
 	sfx := regexp.QuoteMeta(group.Suffix)
 	var best *Convention
-	for _, tmpl := range candidatePatterns {
-		pattern := strings.ReplaceAll(tmpl, "<sfx>", sfx)
-		//lint:ignore hotcompile learn-time candidate evaluation: each per-suffix pattern is dynamic and compiled exactly once, then cached on the Convention
-		re, err := regexp.Compile(pattern)
-		if err != nil {
-			panic(fmt.Sprintf("asn: bad template %q: %v", tmpl, err))
-		}
-		c := &Convention{Suffix: group.Suffix, Pattern: pattern, re: re}
+	for _, tmpl := range candidateTemplates {
+		pattern := strings.ReplaceAll(tmpl.pattern, "<sfx>", sfx)
+		c := &Convention{Suffix: group.Suffix, Pattern: pattern, re: tmpl.re}
 		for _, hc := range cases {
 			got, ok := c.ExtractASN(hc.host)
 			switch {

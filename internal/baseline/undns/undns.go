@@ -24,9 +24,35 @@ import (
 	"io"
 	"regexp"
 	"strings"
+	"sync"
 
 	"hoiho/internal/geodict"
 )
+
+// compiledRules caches compiled rule regexes by pattern text,
+// process-wide: the evaluation harness re-parses the published ruleset
+// per figure and synthesises rulesets that share rule shapes, so each
+// distinct pattern compiles exactly once per process rather than once
+// per load.
+var compiledRules sync.Map // pattern string -> *regexp.Regexp
+
+// compileRule returns the cached compiled form of a rule pattern,
+// enforcing the exactly-one-capture contract shared by AddRule and
+// Parse. Patterns that fail either check are not cached.
+func compileRule(pattern string) (*regexp.Regexp, error) {
+	if cached, ok := compiledRules.Load(pattern); ok {
+		return cached.(*regexp.Regexp), nil
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, err
+	}
+	if re.NumSubexp() != 1 {
+		return nil, fmt.Errorf("pattern %q must have exactly one capture", pattern)
+	}
+	compiledRules.Store(pattern, re)
+	return re, nil
+}
 
 // Rule is one undns regex with its manually-curated code table.
 type Rule struct {
@@ -47,12 +73,9 @@ func NewRuleSet() *RuleSet {
 // AddRule registers a rule for a suffix. The regex must contain exactly
 // one capture group.
 func (rs *RuleSet) AddRule(suffix, pattern string, codes map[string]*geodict.Location) error {
-	re, err := regexp.Compile(pattern)
+	re, err := compileRule(pattern)
 	if err != nil {
 		return fmt.Errorf("undns: bad pattern %q: %w", pattern, err)
-	}
-	if re.NumSubexp() != 1 {
-		return fmt.Errorf("undns: pattern %q must have exactly one capture", pattern)
 	}
 	rs.Rules[suffix] = append(rs.Rules[suffix], &Rule{Re: re, Codes: codes})
 	return nil
@@ -105,13 +128,9 @@ func Parse(r io.Reader, dict *geodict.Dictionary) (*RuleSet, error) {
 			if suffix == "" {
 				return nil, fmt.Errorf("undns: line %d: rule before suffix", line)
 			}
-			//lint:ignore hotcompile rule-file load time: each published rule is compiled once per load, never per lookup
-			re, err := regexp.Compile(fields[1])
+			re, err := compileRule(fields[1])
 			if err != nil {
 				return nil, fmt.Errorf("undns: line %d: %w", line, err)
-			}
-			if re.NumSubexp() != 1 {
-				return nil, fmt.Errorf("undns: line %d: need exactly one capture", line)
 			}
 			current = &Rule{Re: re, Codes: make(map[string]*geodict.Location)}
 			rs.Rules[suffix] = append(rs.Rules[suffix], current)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"hoiho/internal/geo"
 	"hoiho/internal/geodict"
 	"hoiho/internal/rex"
 )
@@ -11,11 +12,49 @@ type overrideKey struct {
 	hint string
 }
 
+// resolveEntry memoizes one dictionary resolution. The slice is shared
+// across lookups; resolve callers only iterate it.
+type resolveEntry struct {
+	locs   []*geodict.Location
+	inDict bool
+}
+
+// consistKey identifies one RTT-consistency question: the matrix and
+// tolerance are fixed for the life of an evalCtx, so (router, position)
+// determines the verdict.
+type consistKey struct {
+	router string
+	pos    geo.LatLong
+}
+
 // evalCtx carries everything needed to classify regex extractions.
 type evalCtx struct {
 	in        Inputs
 	cfg       Config
 	overrides map[overrideKey]*geodict.Location
+
+	// Stage 3 evaluates every candidate regex against every hostname in
+	// the group, so the same extraction strings and the same
+	// (router, location) consistency questions recur across candidates.
+	// Both answers are pure functions of immutable inputs (the dictionary
+	// and the RTT matrix), so they memoize exactly. resolveMemo sits
+	// below the override check in resolve, keeping stage-4 installs
+	// visible.
+	resolveMemo map[rex.Extraction]resolveEntry
+	rttMemo     map[consistKey]bool
+
+	// Set building re-applies the same regex to the same hostnames
+	// across trial sets (selectNC grows sets member by member, and
+	// re-selects after learning), so regex applications memoize per
+	// (regex, host index). A regex earns a memo slice on its second
+	// evaluateSet appearance — singles-only regexes never pay the
+	// memory — and memoBudget bounds total entries. The evals counter
+	// keeps counting applications, cached or not.
+	matchMemo  map[*rex.Regex][]matchEntry
+	matchSeen  map[*rex.Regex]bool
+	memoTagged *Tagged // identity guard: first element of the memoized tagged slice
+	memoHosts  int
+	memoBudget int
 
 	// evals counts regex applications and rttChecks counts consistency
 	// tests across the whole stage 3-5 lifetime of the context. Plain
@@ -25,8 +64,71 @@ type evalCtx struct {
 	rttChecks int64
 }
 
+// matchMemoBudget caps the total memoized regex applications per
+// evalCtx (~40 MB at 80 bytes/entry); past it, applications recompute.
+const matchMemoBudget = 1 << 19
+
+// matchEntry memoizes one regex application to one tagged hostname.
+type matchEntry struct {
+	ext  rex.Extraction
+	ok   bool
+	done bool
+}
+
 func newEvalCtx(in Inputs, cfg Config) *evalCtx {
-	return &evalCtx{in: in, cfg: cfg, overrides: make(map[overrideKey]*geodict.Location)}
+	return &evalCtx{
+		in: in, cfg: cfg,
+		overrides:   make(map[overrideKey]*geodict.Location),
+		resolveMemo: make(map[rex.Extraction]resolveEntry),
+		rttMemo:     make(map[consistKey]bool),
+		matchMemo:   make(map[*rex.Regex][]matchEntry),
+		matchSeen:   make(map[*rex.Regex]bool),
+		memoBudget:  matchMemoBudget,
+	}
+}
+
+// regexMemo returns the memo slice for r over the current tagged slice,
+// or nil when r should be evaluated directly (first appearance, or
+// budget exhausted).
+func (e *evalCtx) regexMemo(r *rex.Regex, tagged []*Tagged) []matchEntry {
+	if len(tagged) == 0 {
+		return nil
+	}
+	// Memoized entries are keyed by host index, so they are only valid
+	// against the tagged slice they were computed for.
+	if e.memoTagged != tagged[0] || e.memoHosts != len(tagged) {
+		clear(e.matchMemo)
+		clear(e.matchSeen)
+		e.memoTagged, e.memoHosts = tagged[0], len(tagged)
+		e.memoBudget = matchMemoBudget
+	}
+	if mm, ok := e.matchMemo[r]; ok {
+		return mm
+	}
+	if !e.matchSeen[r] {
+		e.matchSeen[r] = true
+		return nil
+	}
+	if e.memoBudget < len(tagged) {
+		return nil
+	}
+	e.memoBudget -= len(tagged)
+	mm := make([]matchEntry, len(tagged))
+	e.matchMemo[r] = mm
+	return mm
+}
+
+// consistent answers the RTT-consistency question through the memo.
+// Callers count rttChecks themselves: the counter measures questions
+// asked, which stays invariant whether or not the answer was cached.
+func (e *evalCtx) consistent(router string, pos geo.LatLong) bool {
+	k := consistKey{router, pos}
+	if v, ok := e.rttMemo[k]; ok {
+		return v
+	}
+	v := e.in.RTT.Consistent(router, pos, e.cfg.ToleranceMs)
+	e.rttMemo[k] = v
+	return v
 }
 
 // resolve maps an extraction to candidate locations. inDict reports
@@ -37,6 +139,16 @@ func (e *evalCtx) resolve(ext rex.Extraction) (locs []*geodict.Location, inDict 
 	if ov, ok := e.overrides[overrideKey{ext.Type, ext.Hint}]; ok {
 		return []*geodict.Location{ov}, true
 	}
+	if ent, ok := e.resolveMemo[ext]; ok {
+		return ent.locs, ent.inDict
+	}
+	locs, inDict = e.resolveDict(ext)
+	e.resolveMemo[ext] = resolveEntry{locs, inDict}
+	return locs, inDict
+}
+
+// resolveDict is the uncached dictionary resolution behind resolve.
+func (e *evalCtx) resolveDict(ext rex.Extraction) (locs []*geodict.Location, inDict bool) {
 	d := e.in.Dict
 	switch ext.Type {
 	case geodict.HintIATA:
@@ -118,7 +230,7 @@ func (e *evalCtx) outcome(t *Tagged, ext rex.Extraction, matched bool) (Outcome,
 	consistent := false
 	for _, loc := range locs {
 		e.rttChecks++
-		if e.in.RTT.Consistent(t.RH.Router.ID, loc.Pos, e.cfg.ToleranceMs) {
+		if e.consistent(t.RH.Router.ID, loc.Pos) {
 			consistent = true
 			break
 		}
@@ -172,15 +284,28 @@ func (e *evalCtx) evaluateSet(regexes []*rex.Regex, tagged []*Tagged) ncEval {
 	}
 	uniq := make(map[string]bool)
 	perRegexUniq := make([]map[string]bool, len(regexes))
+	memos := make([][]matchEntry, len(regexes))
 	for i := range perRegexUniq {
 		perRegexUniq[i] = make(map[string]bool)
+		memos[i] = e.regexMemo(regexes[i], tagged)
 	}
 
 	for hi, t := range tagged {
 		decided := false
 		for ri, r := range regexes {
 			e.evals++
-			ext, ok := r.Match(t.H.Full)
+			var ext rex.Extraction
+			var ok bool
+			if mm := memos[ri]; mm != nil {
+				me := &mm[hi]
+				if !me.done {
+					me.ext, me.ok = r.Match(t.H.Full)
+					me.done = true
+				}
+				ext, ok = me.ext, me.ok
+			} else {
+				ext, ok = r.Match(t.H.Full)
+			}
 			if !ok {
 				continue
 			}

@@ -35,8 +35,8 @@ func TestTracedRunParallel(t *testing.T) {
 			if r.Counters["suffix_groups"] == 0 {
 				t.Errorf("run span has no suffix_groups counter: %+v", r)
 			}
-			if r.Counters["regexes_compiled"] == 0 {
-				t.Errorf("run span counted no compiled regexes: %+v", r)
+			if r.Counters["matchers_compiled"] == 0 {
+				t.Errorf("run span counted no compiled matchers: %+v", r)
 			}
 		case "group":
 			groups++

@@ -58,8 +58,8 @@ func TestTracedIndex(t *testing.T) {
 		t.Fatal(err)
 	}
 	coldRecs := coldTr.Export()
-	if len(coldRecs) != 1 || coldRecs[0].Counters["regexes_compiled"] == 0 {
-		t.Errorf("cold-cache build spans = %+v, want one span counting compiles", coldRecs)
+	if len(coldRecs) != 1 || coldRecs[0].Counters["matchers_compiled"] == 0 {
+		t.Errorf("cold-cache build spans = %+v, want one span counting matcher builds", coldRecs)
 	}
 	if len(batches) != 2 {
 		t.Fatalf("exported %d lookup-batch spans, want 2", len(batches))

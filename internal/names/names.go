@@ -15,7 +15,6 @@
 package names
 
 import (
-	"fmt"
 	"regexp"
 	"sort"
 	"strings"
@@ -43,9 +42,16 @@ type Convention struct {
 // ATP is the convention's absolute-true-positive score.
 func (c *Convention) ATP() int { return c.Routers - c.Collisions - c.Missed }
 
-// ExtractName applies the convention to a hostname.
+// ExtractName applies the convention to a hostname. The compiled regex
+// is the suffix-stripped template, so the hostname's suffix is cut
+// first; a hostname outside the suffix never matches, exactly as the
+// full pattern (which ends in the literal suffix) would fail.
 func (c *Convention) ExtractName(host string) (string, bool) {
-	m := c.re.FindStringSubmatch(strings.ToLower(host))
+	u, ok := strings.CutSuffix(strings.ToLower(host), c.Suffix)
+	if !ok {
+		return "", false
+	}
+	m := c.re.FindStringSubmatch(u)
 	if m == nil || m[1] == "" {
 		return "", false
 	}
@@ -76,23 +82,34 @@ func Learn(corpus *itdk.Corpus, list *psl.List, minRouters int) []*Convention {
 	return out
 }
 
-// candidatePatterns is the template family evaluated per suffix; <sfx>
+// template pairs a candidate pattern shape with its compiled form.
+// Every shape ends in the literal `<sfx>$`, so matching decomposes
+// exactly: the full pattern matches a hostname iff the hostname ends
+// with the suffix and the suffix-stripped pattern matches the rest,
+// with identical submatches. That lets the regexes compile once at
+// package init instead of once per suffix per Learn call.
+type template struct {
+	pattern string         // published shape, with the <sfx> placeholder
+	re      *regexp.Regexp // compiled with <sfx> removed
+}
+
+// candidateTemplates is the template family evaluated per suffix; <sfx>
 // is the escaped suffix. The shapes cover the conventions the IMC 2019
 // paper reports: the name as the trailing label(s) before the suffix,
 // everything after an interface label, and dash-embedded names.
-var candidatePatterns = []string{
+var candidateTemplates = []template{
 	// name = last label ("ae1.cr1-lhr1.example.net" -> "cr1-lhr1")
-	`^.+\.([^\.]+)\.<sfx>$`,
+	{`^.+\.([^\.]+)\.<sfx>$`, regexp.MustCompile(`^.+\.([^\.]+)\.$`)},
 	// name = last two labels ("ae1.cr1.lhr1.example.net" -> "cr1.lhr1")
-	`^.+\.([^\.]+\.[^\.]+)\.<sfx>$`,
+	{`^.+\.([^\.]+\.[^\.]+)\.<sfx>$`, regexp.MustCompile(`^.+\.([^\.]+\.[^\.]+)\.$`)},
 	// name = everything after the interface label
-	`^[^\.]+\.(.+)\.<sfx>$`,
+	{`^[^\.]+\.(.+)\.<sfx>$`, regexp.MustCompile(`^[^\.]+\.(.+)\.$`)},
 	// name = trailing two dash components of the first label
 	// ("xe-0-0-ash1-bcr1.bb.example.com" -> "ash1-bcr1")
-	`^[^\.]+?-([a-z\d]+-[a-z\d]+)\.(?:[^\.]+\.)?<sfx>$`,
+	{`^[^\.]+?-([a-z\d]+-[a-z\d]+)\.(?:[^\.]+\.)?<sfx>$`, regexp.MustCompile(`^[^\.]+?-([a-z\d]+-[a-z\d]+)\.(?:[^\.]+\.)?$`)},
 	// name = second label, with a constant tail label
 	// ("ae1.cr1-lhr.bb.example.net" -> "cr1-lhr")
-	`^[^\.]+\.([^\.]+)\.[^\.]+\.<sfx>$`,
+	{`^[^\.]+\.([^\.]+)\.[^\.]+\.<sfx>$`, regexp.MustCompile(`^[^\.]+\.([^\.]+)\.[^\.]+\.$`)},
 }
 
 func learnSuffix(group *itdk.SuffixGroup, minRouters int) *Convention {
@@ -112,14 +129,9 @@ func learnSuffix(group *itdk.SuffixGroup, minRouters int) *Convention {
 
 	sfx := regexp.QuoteMeta(group.Suffix)
 	var best *Convention
-	for _, tmpl := range candidatePatterns {
-		pattern := strings.ReplaceAll(tmpl, "<sfx>", sfx)
-		//lint:ignore hotcompile learn-time candidate evaluation: each per-suffix pattern is dynamic and compiled exactly once
-		re, err := regexp.Compile(pattern)
-		if err != nil {
-			panic(fmt.Sprintf("names: bad template %q: %v", tmpl, err))
-		}
-		c := evaluate(group.Suffix, pattern, re, byRouter)
+	for _, tmpl := range candidateTemplates {
+		pattern := strings.ReplaceAll(tmpl.pattern, "<sfx>", sfx)
+		c := evaluate(group.Suffix, pattern, tmpl.re, byRouter)
 		if best == nil || c.ATP() > best.ATP() {
 			best = c
 		}
@@ -147,14 +159,14 @@ func evaluate(suffix, pattern string, re *regexp.Regexp, byRouter map[string][]s
 		name := ""
 		consistent := true
 		for _, h := range hs {
-			m := re.FindStringSubmatch(h)
-			if m == nil || m[1] == "" {
+			n, ok := c.ExtractName(h)
+			if !ok {
 				consistent = false
 				break
 			}
 			if name == "" {
-				name = m[1]
-			} else if name != m[1] {
+				name = n
+			} else if name != n {
 				consistent = false
 				break
 			}

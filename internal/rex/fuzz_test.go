@@ -1,9 +1,11 @@
 package rex
 
 import (
+	"regexp"
 	"testing"
 
 	"hoiho/internal/geodict"
+	"hoiho/internal/rexmatch"
 )
 
 // FuzzParsePattern feeds arbitrary patterns to the published-format
@@ -111,6 +113,67 @@ func FuzzMatch(f *testing.F) {
 		}
 		if len(ext.Hint) != 3 {
 			t.Fatalf("IATA extraction %q has wrong width", ext.Hint)
+		}
+	})
+}
+
+// FuzzRexmatchVsStdlib is the differential oracle for the specialized
+// matcher: arbitrary bytes decode into a component sequence, the
+// sequence renders to the stdlib pattern, and both engines run the
+// same hostname. The match verdict and every capture group must agree
+// byte for byte — rexmatch implements leftmost-first submatch
+// semantics, so any divergence is a bug in the specialized engine (or
+// in the dialect translation), never an acceptable approximation. The
+// checked-in seed corpus pins the two component shapes whose parsing
+// PR 3 fixed: multi-character literal captures, and a plain literal
+// followed by a captured literal (coalescing across the capture
+// boundary).
+func FuzzRexmatchVsStdlib(f *testing.F) {
+	// {0x00, 0x33}: captured multi-char literal `^(ge)$` (RoleHint).
+	f.Add([]byte{0x00, 0x33}, "ge")
+	// {0x00, 0x02, 0x00, 0x33}: plain literal then captured literal,
+	// `^ge(ge)$` — the coalescing shape.
+	f.Add([]byte{0x00, 0x02, 0x00, 0x33}, "gege")
+	// Greedy give-back across adjacent repetitions.
+	f.Add([]byte{0x03, 0x00, 0x01, 0x00, 0x06, 0x07, 0x08, 0x00}, "xe-1.gw2.sfo12.net")
+	f.Add([]byte{0x06, 0x05, 0x02, 0x00, 0x06, 0x07}, "abcd-ef")
+	f.Add([]byte{0x00, 0x0a, 0x01, 0x00, 0x00, 0x06}, ".alter.")
+	f.Add([]byte{}, "")
+	f.Fuzz(func(t *testing.T, data []byte, host string) {
+		r := decodeRegex(data)
+		if err := r.Validate(); err != nil {
+			return
+		}
+		prog, err := rexmatch.Compile(matcherSpecs(r.Comps))
+		if err != nil {
+			// Out of dialect: the production path falls back to stdlib,
+			// so there is no specialized behaviour to compare.
+			return
+		}
+		std, err := regexp.Compile(r.String())
+		if err != nil {
+			t.Fatalf("valid regex %q does not compile: %v", r.String(), err)
+		}
+		want := std.FindStringSubmatch(host)
+		var res rexmatch.Result
+		got := prog.Run(host, &res)
+		if (want != nil) != got {
+			t.Fatalf("verdict differs for %q on %q: stdlib=%v rexmatch=%v",
+				r.String(), host, want != nil, got)
+		}
+		if !got {
+			return
+		}
+		caps := res.Captures(nil)
+		if len(caps) != len(want)-1 {
+			t.Fatalf("capture count differs for %q on %q: stdlib=%d rexmatch=%d",
+				r.String(), host, len(want)-1, len(caps))
+		}
+		for i, c := range caps {
+			if c != want[i+1] {
+				t.Fatalf("capture %d differs for %q on %q: stdlib=%q rexmatch=%q",
+					i+1, r.String(), host, want[i+1], c)
+			}
 		}
 	})
 }

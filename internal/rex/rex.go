@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"hoiho/internal/geodict"
+	"hoiho/internal/rexmatch"
 )
 
 // Kind enumerates component types.
@@ -139,6 +140,8 @@ type Regex struct {
 	probeOnce   sync.Once
 	probe       *regexp.Regexp // every component captured, for specialization
 	probeErr    error
+	matcherOnce sync.Once
+	matcher     *rexmatch.Prog // specialized engine; nil when declined
 }
 
 // New assembles a regex from components. The component list should
@@ -243,6 +246,81 @@ func (r *Regex) Compile() (*regexp.Regexp, error) {
 	return r.compiled, r.compileErr
 }
 
+// matcherSpecs translates the component AST into the rexmatch dialect.
+// Every component kind has a direct translation; an unknown kind maps
+// to an op rexmatch.Compile rejects, which routes the regex to the
+// stdlib fallback.
+func matcherSpecs(comps []Component) []rexmatch.Spec {
+	specs := make([]rexmatch.Spec, len(comps))
+	for i, c := range comps {
+		s := rexmatch.Spec{Capture: c.Capture}
+		switch c.Kind {
+		case KindLiteral:
+			s.Op, s.Lit = rexmatch.OpLit, c.Lit
+		case KindDot:
+			s.Op, s.Lit = rexmatch.OpLit, "."
+		case KindDash:
+			s.Op, s.Lit = rexmatch.OpLit, "-"
+		case KindAny:
+			s.Op = rexmatch.OpAny
+		case KindNotDot:
+			s.Op = rexmatch.OpNotDot
+		case KindNotDash:
+			s.Op = rexmatch.OpNotDash
+		case KindAlphaFixed:
+			s.Op, s.N = rexmatch.OpAlphaFixed, c.N
+		case KindAlpha:
+			s.Op = rexmatch.OpAlpha
+		case KindDigits:
+			s.Op = rexmatch.OpDigits
+		case KindDigitsOpt:
+			s.Op = rexmatch.OpDigitsOpt
+		case KindAlnum:
+			s.Op = rexmatch.OpAlnum
+		default:
+			s.Op = rexmatch.Op(255)
+		}
+		specs[i] = s
+	}
+	return specs
+}
+
+// matcherProg returns the specialized one-pass matcher for the
+// component sequence, built on first use, or nil when the sequence is
+// outside the rexmatch dialect (the caller then uses the stdlib
+// engine). One program serves both Match and ComponentMatches — it
+// records the span of every component, captured or not.
+func (r *Regex) matcherProg() *rexmatch.Prog {
+	r.matcherOnce.Do(func() {
+		p, err := rexmatch.Compile(matcherSpecs(r.Comps))
+		if err != nil {
+			matcherFallbacks.Add(1)
+			return
+		}
+		matchersBuilt.Add(1)
+		r.matcher = p
+	})
+	return r.matcher
+}
+
+// resultPool recycles rexmatch scratch state across Match and
+// ComponentMatches calls; a steady-state candidate probe allocates
+// nothing.
+var resultPool = sync.Pool{New: func() any { return new(rexmatch.Result) }}
+
+// Prepare readies the regex for matching without running it: it builds
+// the specialized matcher, falling back to compiling the stdlib form
+// when the component sequence is outside the rexmatch dialect. The
+// returned error is the stdlib compile error of an invalid pattern —
+// the check index builds rely on.
+func (r *Regex) Prepare() error {
+	if r.matcherProg() != nil {
+		return nil
+	}
+	_, err := r.Compile()
+	return err
+}
+
 // Extraction is the decoded result of matching a hostname.
 type Extraction struct {
 	Hint    string           // the geohint string ("lhr", or joined CLLI halves)
@@ -253,7 +331,20 @@ type Extraction struct {
 
 // Match applies the regex to a full hostname and decodes the captures
 // into an Extraction. ok is false when the hostname does not match.
+// The candidate-probe hot path: the specialized rexmatch engine runs
+// the match allocation-free; regexes outside its dialect fall back to
+// the stdlib engine with identical semantics.
 func (r *Regex) Match(hostname string) (Extraction, bool) {
+	if p := r.matcherProg(); p != nil {
+		res := resultPool.Get().(*rexmatch.Result)
+		ok := p.Run(hostname, res)
+		var ext Extraction
+		if ok {
+			ext = r.decodeParts(res)
+		}
+		resultPool.Put(res)
+		return ext, ok
+	}
 	re, err := r.Compile()
 	if err != nil {
 		return Extraction{}, false
@@ -289,6 +380,35 @@ func (r *Regex) Match(hostname string) (Extraction, bool) {
 	return ext, true
 }
 
+// decodeParts maps a successful rexmatch run onto an Extraction; part
+// indices align 1:1 with components.
+func (r *Regex) decodeParts(res *rexmatch.Result) Extraction {
+	ext := Extraction{Type: r.Hint}
+	var clli4, clli2 string
+	for i := range r.Comps {
+		c := &r.Comps[i]
+		if !c.Capture {
+			continue
+		}
+		switch c.Role {
+		case RoleHint:
+			ext.Hint = res.Part(i)
+		case RoleCLLI4:
+			clli4 = res.Part(i)
+		case RoleCLLI2:
+			clli2 = res.Part(i)
+		case RoleState:
+			ext.State = res.Part(i)
+		case RoleCountry:
+			ext.Country = res.Part(i)
+		}
+	}
+	if clli4 != "" && clli2 != "" {
+		ext.Hint = clli4 + clli2
+	}
+	return ext
+}
+
 // probeRegexp renders a variant where every component is captured, used
 // to recover which substring each component matched (phase 3).
 func (r *Regex) probeRegexp() (*regexp.Regexp, error) {
@@ -315,8 +435,21 @@ func (r *Regex) probeRegexp() (*regexp.Regexp, error) {
 }
 
 // ComponentMatches returns the substring each component matched against
-// the hostname, or ok=false if the hostname does not match.
+// the hostname, or ok=false if the hostname does not match. The
+// specialized matcher already tracks every component's span, so the
+// probe path shares the Match program; only out-of-dialect regexes
+// compile the all-captures probe variant.
 func (r *Regex) ComponentMatches(hostname string) ([]string, bool) {
+	if p := r.matcherProg(); p != nil {
+		res := resultPool.Get().(*rexmatch.Result)
+		var parts []string
+		ok := p.Run(hostname, res)
+		if ok {
+			parts = res.Parts(make([]string, 0, len(r.Comps)))
+		}
+		resultPool.Put(res)
+		return parts, ok
+	}
 	re, err := r.probeRegexp()
 	if err != nil {
 		return nil, false

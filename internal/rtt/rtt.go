@@ -178,7 +178,7 @@ func (m *Matrix) measurements(table map[string][]Sample, router string) []Measur
 	if !ok {
 		return nil
 	}
-	var out []Measurement
+	out := make([]Measurement, 0, len(row))
 	for i, s := range row {
 		if !math.IsNaN(s.RTTms) {
 			out = append(out, Measurement{VP: m.vps[i], Sample: s})
@@ -207,9 +207,17 @@ func (m *Matrix) MinTrace(router string) (Measurement, bool) {
 	return ms[0], true
 }
 
-// HasPing reports whether any VP has a ping sample for router.
+// HasPing reports whether any VP has a ping sample for router. It is
+// called once per hostname in stage 2 and once per candidate evaluation
+// in stage 3, so it scans the row directly instead of materializing the
+// sorted measurement slice.
 func (m *Matrix) HasPing(router string) bool {
-	return len(m.PingMeasurements(router)) > 0
+	for _, s := range m.ping[router] {
+		if !math.IsNaN(s.RTTms) {
+			return true
+		}
+	}
+	return false
 }
 
 // Consistent reports whether a candidate location for router is
