@@ -57,7 +57,7 @@ var (
 func loadSuite(b *testing.B) *eval.Suite {
 	b.Helper()
 	suiteOnce.Do(func() {
-		suite, suiteErr = eval.RunSuite(eval.PresetNames, 1.0)
+		suite, suiteErr = eval.Run(eval.PresetNames, 1.0, core.DefaultConfig())
 	})
 	if suiteErr != nil {
 		b.Fatal(suiteErr)

@@ -41,6 +41,7 @@ func TestCLIWorkflow(t *testing.T) {
 	hoiho := build("hoiho")
 	geoweb := build("geoweb")
 	geodict := build("geodict")
+	geosnap := build("geosnap")
 
 	// 1. Generate a small IPv6-preset corpus.
 	out := run(geosynth, "-preset", "ipv6-nov2020", "-out", data)
@@ -82,7 +83,25 @@ func TestCLIWorkflow(t *testing.T) {
 		}
 	}
 
-	// 5. Render the website.
+	// 5. Compile the conventions into a snapshot and apply it — the
+	// third input kind of the shared Source API, and the one geoserve
+	// cold-starts from in production.
+	snapFile := filepath.Join(t.TempDir(), "index.snap")
+	out = run(geosnap, "-nc", ncFile, "-verify", "-o", snapFile)
+	if !strings.Contains(out, "wrote") {
+		t.Errorf("geosnap output: %s", out)
+	}
+	if fi, err := os.Stat(snapFile); err != nil || fi.Size() == 0 {
+		t.Errorf("snapshot file missing or empty: %v", err)
+	}
+	if host != "" {
+		out = run(hoiho, "-snapshot", snapFile, "-suffix", suffix, "-geolocate", host)
+		if !strings.Contains(out, "->") {
+			t.Errorf("hoiho -snapshot geolocate output:\n%s", out)
+		}
+	}
+
+	// 6. Render the website.
 	out = run(geoweb, "-nc", ncFile, "-out", site)
 	if !strings.Contains(out, "pages") {
 		t.Errorf("geoweb output: %s", out)
@@ -91,7 +110,7 @@ func TestCLIWorkflow(t *testing.T) {
 		t.Errorf("missing index.html: %v", err)
 	}
 
-	// 6. Dictionary queries answer.
+	// 7. Dictionary queries answer.
 	out = run(geodict, "-iata", "ash")
 	if !strings.Contains(out, "Nashua") {
 		t.Errorf("geodict -iata ash: %s", out)

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -42,7 +43,12 @@ import (
 
 func main() {
 	testing.Init() // registers -test.* flags so testing.Benchmark works outside `go test`
-	corpus := flag.String("corpus", "testdata/golden", "golden corpus directory the suite runs against")
+	// The suite learns from a corpus (default: the committed golden one).
+	// The shared Source flags keep geobench's cluster identical to the
+	// other commands'; passing -snapshot/-nc instead of -corpus is
+	// rejected in newSuite with an explanation.
+	src := &geoloc.Source{Corpus: "testdata/golden"}
+	src.RegisterFlags(flag.CommandLine)
 	out := flag.String("o", "", "write the candidate record to this file")
 	against := flag.String("against", "", "baseline BENCH_*.json to compare the candidate against")
 	candPath := flag.String("candidate", "", "load the candidate from this file instead of running the suite")
@@ -54,6 +60,15 @@ func main() {
 	list := flag.Bool("list", false, "list the registered suite and exit")
 	commitFlag := flag.String("commit", "", "commit id to stamp (default: git rev-parse, best effort)")
 	flag.Parse()
+	// -corpus has a default; drop it when the user named another input
+	// explicitly so Source's exactly-one contract sees their choice.
+	if src.Snapshot != "" || src.NC != "" {
+		explicit := false
+		flag.Visit(func(f *flag.Flag) { explicit = explicit || f.Name == "corpus" })
+		if !explicit {
+			src.Corpus = ""
+		}
+	}
 
 	if *list {
 		for _, d := range suiteNames() {
@@ -62,7 +77,7 @@ func main() {
 		return
 	}
 
-	cand, err := candidate(*corpus, *candPath, *out, *quick, *repeats, *runPat, *commitFlag)
+	cand, err := candidate(src, *candPath, *out, *quick, *repeats, *runPat, *commitFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -87,11 +102,11 @@ func main() {
 
 // candidate produces the record under comparison: loaded from a file in
 // pure-compare mode, freshly measured otherwise.
-func candidate(corpus, candPath, out string, quick bool, repeats int, runPat, commitFlag string) (*benchrec.File, error) {
+func candidate(src *geoloc.Source, candPath, out string, quick bool, repeats int, runPat, commitFlag string) (*benchrec.File, error) {
 	if candPath != "" {
 		return benchrec.ReadFile(candPath)
 	}
-	rec, err := runSuite(corpus, quick, repeats, runPat, commitFlag)
+	rec, err := runSuite(src, quick, repeats, runPat, commitFlag)
 	if err != nil {
 		return nil, err
 	}
@@ -106,7 +121,7 @@ func candidate(corpus, candPath, out string, quick bool, repeats int, runPat, co
 
 // runSuite measures every selected benchmark `repeats` times and stamps
 // the record.
-func runSuite(corpus string, quick bool, repeats int, runPat, commitFlag string) (*benchrec.File, error) {
+func runSuite(src *geoloc.Source, quick bool, repeats int, runPat, commitFlag string) (*benchrec.File, error) {
 	benchtime := "1s"
 	if repeats == 0 {
 		repeats = 5
@@ -128,7 +143,7 @@ func runSuite(corpus string, quick bool, repeats int, runPat, commitFlag string)
 		}
 	}
 
-	s, err := newSuite(corpus)
+	s, err := newSuite(src)
 	if err != nil {
 		return nil, err
 	}
@@ -181,22 +196,38 @@ func suiteNames() []string {
 		"GeolocBatchWarm      compiled index, result cache disabled",
 		"GeolocBatchCached    compiled index, warmed LRU",
 		"GoldenEndToEnd       LoadInputs + core.Run + WriteConventions",
+		"SnapshotLoad         geoloc.Load of an in-memory snapshot (decode + compile)",
+		"ReloadSwap           SpotCheck + atomic Live swap between two prebuilt indexes",
 	}
 }
 
-func newSuite(corpus string) (*suite, error) {
-	in, err := geoloc.LoadInputs(corpus)
-	if err != nil {
-		return nil, fmt.Errorf("loading corpus (run from the repo root, or pass -corpus): %w", err)
-	}
-	res, err := core.Run(in, core.DefaultConfig())
+func newSuite(src *geoloc.Source) (*suite, error) {
+	kind, err := src.Kind()
 	if err != nil {
 		return nil, err
 	}
-	s := &suite{in: in, res: res, hosts: corpusHosts(in)}
+	if kind != geoloc.FromCorpus {
+		return nil, fmt.Errorf(
+			"the benchmark suite measures the learning pipeline and needs -corpus (got -%s)", kind)
+	}
+	corpus := src.Corpus
+	resolved, err := src.Resolve(geoloc.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("loading corpus (run from the repo root, or pass -corpus): %w", err)
+	}
+	s := &suite{in: *resolved.Inputs, res: resolved.Result, hosts: corpusHosts(*resolved.Inputs)}
 	if len(s.hosts) == 0 {
 		return nil, fmt.Errorf("corpus %s has no hostnames to benchmark", corpus)
 	}
+	in := s.in
+
+	// The snapshot benchmarks measure the serving cold path: one
+	// serialized image in memory, decoded + compiled per iteration.
+	var snapBuf bytes.Buffer
+	if err := geoloc.Save(&snapBuf, s.res, nil); err != nil {
+		return nil, err
+	}
+	snapBytes := snapBuf.Bytes()
 
 	seqCfg := core.DefaultConfig()
 	seqCfg.Workers = 1
@@ -287,6 +318,42 @@ func newSuite(corpus string) (*suite, error) {
 				if err := core.WriteConventions(io.Discard, res); err != nil {
 					b.Fatal(err)
 				}
+			}
+		}},
+		{"SnapshotLoad", func(b *testing.B) {
+			b.ReportMetric(float64(len(snapBytes)), "snapshot-bytes")
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := geoloc.Load(bytes.NewReader(snapBytes),
+					geoloc.Options{Dict: s.in.Dict, PSL: s.in.PSL, CacheSize: -1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ReloadSwap", func(b *testing.B) {
+			// Two prebuilt indexes alternate through a Live handle: the
+			// benchmark times only the validated hot-swap step geoserve
+			// performs on SIGHUP — SpotCheck plus one atomic store — not
+			// the replacement build, which happens off the request path.
+			ixA, err := geoloc.New(s.res, geoloc.Options{Dict: s.in.Dict, PSL: s.in.PSL, CacheSize: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ixB, err := geoloc.New(s.res, geoloc.Options{Dict: s.in.Dict, PSL: s.in.PSL, CacheSize: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			live := geoloc.NewLive(ixA)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				next := ixB
+				if i%2 == 1 {
+					next = ixA
+				}
+				if err := geoloc.SpotCheck(live.Index(), next, 16); err != nil {
+					b.Fatal(err)
+				}
+				live.Swap(next)
 			}
 		}},
 	}

@@ -19,17 +19,19 @@ import (
 
 	"hoiho/internal/core"
 	"hoiho/internal/eval"
+	"hoiho/internal/geoloc"
 	"hoiho/internal/synth"
 )
 
 func main() {
 	experiment := flag.String("experiment", "all", "which table/figure to regenerate")
 	scale := flag.Float64("scale", 1.0, "world size multiplier")
-	workers := flag.Int("workers", 0,
-		"suffix groups learned concurrently (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+	// geoeval generates its own worlds, so it shares only the learning
+	// half of the Source flag cluster (-workers, -no-learn).
+	src := &geoloc.Source{}
+	src.RegisterLearnFlags(flag.CommandLine)
 	flag.Parse()
-	cfg := core.DefaultConfig()
-	cfg.Workers = *workers
+	cfg := src.CoreConfig(nil)
 
 	runAll := *experiment == "all"
 	need4 := runAll

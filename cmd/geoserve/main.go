@@ -1,26 +1,37 @@
 // Command geoserve serves learned naming conventions over HTTP — the
 // production shape of the paper's published-conventions workflow, where
 // operators apply regexes at measurement scale rather than one hostname
-// per process. Conventions are compiled once into an immutable
-// geoloc.Index (regexes precompiled, learned geohints pre-resolved,
-// results LRU-cached) and served concurrently.
+// per process. Conventions come from any Source — a compiled-index
+// snapshot (-snapshot, the fast path), a published conventions file
+// (-nc), or a corpus to learn from (-corpus) — and are compiled once
+// into an immutable geoloc.Index (regexes precompiled, learned geohints
+// pre-resolved, results LRU-cached) served behind an atomic pointer.
 //
 // Usage:
 //
-//	geoserve -nc conventions.txt [-addr :8099]
+//	geoserve -snapshot index.snap [-addr :8099]
+//	geoserve -nc conventions.txt
 //	geoserve -corpus data/aug2020 [-workers n] [-no-learn]
 //
 // Endpoints:
 //
-//	POST /v1/geolocate   {"hostname": "..."} or {"hostnames": [...]}
-//	GET  /healthz        liveness and index size
-//	GET  /metrics        expvar counters: requests, cache hits/misses,
-//	                     matches by suffix and class, latency histogram,
-//	                     per-route span aggregates ("routes") with
-//	                     status-class counts; ?format=prometheus switches
-//	                     to the text exposition format
-//	GET  /metrics/prom   Prometheus text exposition (same content)
-//	GET  /debug/pprof/   net/http/pprof profiling (heap, profile, trace, ...)
+//	POST /v1/geolocate      {"hostname": "..."} or {"hostnames": [...]}
+//	POST /v1/admin/reload   rebuild from the boot source, validate, swap
+//	GET  /healthz           liveness, index size, serving generation
+//	GET  /metrics           expvar counters: requests, cache hits/misses,
+//	                        matches by suffix and class, latency histogram,
+//	                        reload lifecycle, per-route span aggregates
+//	                        ("routes") with status-class counts;
+//	                        ?format=prometheus switches to text exposition
+//	GET  /metrics/prom      Prometheus text exposition (same content)
+//	GET  /debug/pprof/      net/http/pprof profiling (heap, profile, trace, ...)
+//
+// Reloads are zero-downtime: SIGHUP or POST /v1/admin/reload re-resolves
+// the boot source off the request path, spot-checks the replacement
+// index against the live one, and swaps an atomic pointer; in-flight
+// requests finish on the old index, which then drains to the garbage
+// collector. Error responses across /v1 share one JSON envelope:
+// {"error":{"code":...,"message":...}}.
 //
 // With -runtime-sample <interval>, a background sampler records heap
 // size, goroutine count, GC pause and scheduler-latency quantiles into
@@ -44,51 +55,45 @@ import (
 	"syscall"
 	"time"
 
-	"hoiho/internal/core"
 	"hoiho/internal/geoloc"
 	"hoiho/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", ":8099", "listen address")
-	ncFile := flag.String("nc", "", "published conventions file to serve")
-	dir := flag.String("corpus", "", "learn conventions from this corpus directory instead")
-	noLearn := flag.Bool("no-learn", false, "disable stage-4 custom geohint learning (with -corpus)")
-	workers := flag.Int("workers", 0, "suffix groups learned concurrently (with -corpus)")
+	src := &geoloc.Source{}
+	src.RegisterFlags(flag.CommandLine)
 	cacheSize := flag.Int("cache", geoloc.DefaultCacheSize,
 		"LRU result-cache entries (negative disables)")
 	usableOnly := flag.Bool("usable-only", false, "serve only good/promising conventions")
 	runtimeSample := flag.Duration("runtime-sample", 0,
 		"sample runtime telemetry (heap, goroutines, GC pauses) at this interval for /metrics (0 disables)")
 	flag.Parse()
-	if *ncFile == "" && *dir == "" {
-		fmt.Fprintln(os.Stderr, "geoserve: one of -nc or -corpus is required")
+	if _, err := src.Kind(); err != nil {
+		fmt.Fprintln(os.Stderr, "geoserve:", err)
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	// One aggregate-only tracer spans the daemon's lifetime: learning
-	// (with -corpus), the index build, per-batch lookups, and per-route
-	// request handling all roll up into the /metrics "routes" section.
+	// (with -corpus), the index build, snapshot loads, reloads, per-batch
+	// lookups, and per-route request handling all roll up into the
+	// /metrics "routes" section.
 	tracer := obs.New(obs.Options{})
 	if *runtimeSample > 0 {
 		stop := tracer.StartRuntimeSampler(obs.RuntimeOptions{Interval: *runtimeSample})
 		defer stop()
 	}
 
-	cfg := core.DefaultConfig()
-	cfg.LearnHints = !*noLearn
-	cfg.Workers = *workers
-	cfg.Tracer = tracer
-	res, err := geoloc.LoadResult(*ncFile, *dir, cfg)
+	opts := geoloc.Options{UsableOnly: *usableOnly, CacheSize: *cacheSize, Tracer: tracer}
+	resolved, err := src.Resolve(opts)
 	if err != nil {
 		fatal(err)
 	}
-	ix, err := geoloc.New(res, geoloc.Options{UsableOnly: *usableOnly, CacheSize: *cacheSize, Tracer: tracer})
-	if err != nil {
-		fatal(err)
-	}
-	log.Printf("geoserve: serving %d conventions (%d learned)", ix.Len(), len(res.NCs))
+	log.Printf("geoserve: serving %d conventions from %s", resolved.Index.Len(), src.Describe())
+
+	s := newTracedServer(resolved.Index, tracer)
+	s.enableReload(src, opts)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -97,7 +102,35 @@ func main() {
 	log.Printf("geoserve: listening on %s", ln.Addr())
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := serve(ctx, ln, newTracedServer(ix, tracer)); err != nil {
+
+	// SIGHUP triggers the same validated hot swap as /v1/admin/reload.
+	// The loop exits with the serve context; main joins it below so a
+	// reload in flight at shutdown finishes logging.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	hupDone := make(chan struct{})
+	go func() {
+		defer close(hupDone)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-hup:
+				if st, err := s.reload(); err != nil {
+					log.Printf("geoserve: SIGHUP reload failed, still serving generation %d: %v",
+						s.live.Generation(), err)
+				} else {
+					log.Printf("geoserve: SIGHUP reload: generation %d, %d suffixes, build %dµs, swap %dµs",
+						st.Generation, st.Suffixes, st.BuildUS, st.SwapUS)
+				}
+			}
+		}
+	}()
+
+	err = serve(ctx, ln, s)
+	stop() // release the hup loop even when serve failed on its own
+	<-hupDone
+	if err != nil {
 		fatal(err)
 	}
 	log.Print("geoserve: shut down cleanly")

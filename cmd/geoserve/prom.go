@@ -36,6 +36,7 @@ func (s *server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 
 	s.promLatency(pw)
 	s.promIndex(pw)
+	s.promReload(pw)
 	s.promRoutes(pw)
 	s.promRuntime(pw)
 
@@ -64,9 +65,12 @@ func (s *server) promLatency(pw *promWriter) {
 }
 
 // promIndex renders the lookup index's counters, including the
-// per-suffix and per-class match attributions as labeled series.
+// per-suffix and per-class match attributions as labeled series. The
+// counters belong to the current generation's index: a reload swaps in
+// a fresh index whose counters start at zero (generation is exported so
+// scrapes can attribute the reset).
 func (s *server) promIndex(pw *promWriter) {
-	st := s.ix.Stats()
+	st := s.live.Index().Stats()
 	for _, c := range []struct {
 		name, help string
 		v          uint64
@@ -88,6 +92,22 @@ func (s *server) promIndex(pw *promWriter) {
 	for _, k := range sortedKeys(st.ByClass) {
 		pw.sample("geoserve_index_class_matches_total", labels("class", k), float64(st.ByClass[k]))
 	}
+}
+
+// promReload renders the hot-reload lifecycle: the serving generation,
+// reload outcome counters, and the latest build/swap latencies.
+func (s *server) promReload(pw *promWriter) {
+	rm := s.reloadMetrics()
+	pw.family("geoserve_index_generation", "Serving index generation (1 = boot index, +1 per swap).", "gauge")
+	pw.sample("geoserve_index_generation", nil, float64(rm.Generation))
+	pw.family("geoserve_reloads_total", "Successful index reloads (SIGHUP or /v1/admin/reload).", "counter")
+	pw.sample("geoserve_reloads_total", nil, float64(rm.Reloads))
+	pw.family("geoserve_reload_failures_total", "Reload attempts rejected before the swap.", "counter")
+	pw.sample("geoserve_reload_failures_total", nil, float64(rm.Failures))
+	pw.family("geoserve_reload_build_seconds", "Replacement-index build time of the last successful reload.", "gauge")
+	pw.sample("geoserve_reload_build_seconds", nil, float64(rm.LastBuildUS)/1e6)
+	pw.family("geoserve_reload_swap_seconds", "Validate+swap time of the last successful reload.", "gauge")
+	pw.sample("geoserve_reload_swap_seconds", nil, float64(rm.LastSwapUS)/1e6)
 }
 
 // promRoutes renders the per-route span aggregates: request counts,

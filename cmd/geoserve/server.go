@@ -2,11 +2,13 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -20,12 +22,22 @@ import (
 // one client's megabatch.
 const maxBatch = 10000
 
-// server is the geoserve HTTP API over a compiled lookup index. Request
-// counters live in expvar maps (unpublished, so tests can build many
-// servers); the /metrics handler merges them with the index's own
+// spotCheckSamples is how many suffixes a reload validates against the
+// outgoing index before the swap (see geoloc.SpotCheck).
+const spotCheckSamples = 16
+
+// server is the geoserve HTTP API over a hot-swappable compiled lookup
+// index. Lookups go through live — an atomic pointer to the current
+// Index — so a reload never blocks or fails a request: handlers load
+// the pointer once, the swap is a single atomic store, and the old
+// index drains as in-flight requests finish (see DESIGN.md §10).
+// Request counters live in expvar maps (unpublished, so tests can build
+// many servers); the /metrics handler merges them with the index's own
 // counters.
 type server struct {
-	ix       *geoloc.Index
+	live     *geoloc.Live
+	src      *geoloc.Source // reload input; nil disables /v1/admin/reload
+	ixOpts   geoloc.Options // options every reload compiles with
 	mux      *http.ServeMux
 	vars     *expvar.Map // requests, bad_requests, hostnames by endpoint
 	latency  *expvar.Map // /v1/geolocate latency histogram buckets
@@ -33,6 +45,13 @@ type server struct {
 	tracer   *obs.Tracer // aggregate-only: per-route spans for /metrics
 	patterns []string    // registered route patterns, in registration order
 	start    time.Time
+
+	// Reload bookkeeping: one reload at a time; counters feed /metrics.
+	reloadMu       sync.Mutex
+	reloads        atomic.Int64
+	reloadFailures atomic.Int64
+	lastBuildUS    atomic.Int64
+	lastSwapUS     atomic.Int64
 }
 
 func newServer(ix *geoloc.Index) *server {
@@ -46,7 +65,7 @@ func newServer(ix *geoloc.Index) *server {
 // one tracer between the index (compile + batch spans) and the routes.
 func newTracedServer(ix *geoloc.Index, tr *obs.Tracer) *server {
 	s := &server{
-		ix:      ix,
+		live:    geoloc.NewLive(ix),
 		mux:     http.NewServeMux(),
 		vars:    new(expvar.Map).Init(),
 		latency: new(expvar.Map).Init(),
@@ -59,6 +78,7 @@ func newTracedServer(ix *geoloc.Index, tr *obs.Tracer) *server {
 	}
 	s.latency.Add(bucketInf, 0)
 	s.route("POST /v1/geolocate", s.handleGeolocate)
+	s.route("POST /v1/admin/reload", s.handleReload)
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /metrics", s.handleMetrics)
 	s.route("GET /metrics/prom", s.handleMetricsProm)
@@ -70,6 +90,12 @@ func newTracedServer(ix *geoloc.Index, tr *obs.Tracer) *server {
 	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return s
+}
+
+// enableReload arms the hot-reload path: subsequent SIGHUPs and POSTs
+// to /v1/admin/reload re-resolve src with opts and swap the result in.
+func (s *server) enableReload(src *geoloc.Source, opts geoloc.Options) {
+	s.src, s.ixOpts = src, opts
 }
 
 // route registers a handler wrapped in an "http" span keyed by the
@@ -112,7 +138,71 @@ func statusClass(code int) string {
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.vars.Add("requests", 1)
+	if strings.HasPrefix(r.URL.Path, "/v1/") {
+		// The mux's own 404/405 responses are plain text; under /v1 they
+		// are rewritten into the JSON error envelope so every API error
+		// has one shape.
+		w = &v1ErrorWriter{ResponseWriter: w, srv: s}
+	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// apiError is the uniform /v1 error envelope: every error response is
+// {"error":{"code":...,"message":...}} with a stable machine-readable
+// code and a human-readable message (documented in README "Errors").
+type apiError struct {
+	Error apiErrorDetail `json:"error"`
+}
+
+type apiErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeError emits the envelope with the given status. 4xx responses
+// count as bad_requests in /metrics.
+func (s *server) writeError(w http.ResponseWriter, status int, code, msg string) {
+	if status >= 400 && status < 500 {
+		s.vars.Add("bad_requests", 1)
+	}
+	writeJSON(w, status, apiError{apiErrorDetail{Code: code, Message: msg}})
+}
+
+// v1ErrorWriter rewrites the mux's built-in plain-text error responses
+// (unknown /v1 path → 404, wrong method → 405) into the envelope,
+// preserving the status code and any Allow header the mux set.
+type v1ErrorWriter struct {
+	http.ResponseWriter
+	srv         *server
+	intercepted bool
+}
+
+func (w *v1ErrorWriter) WriteHeader(status int) {
+	if status != http.StatusNotFound && status != http.StatusMethodNotAllowed {
+		w.ResponseWriter.WriteHeader(status)
+		return
+	}
+	w.intercepted = true
+	w.srv.vars.Add("bad_requests", 1)
+	code, msg := "not_found", "no such endpoint"
+	if status == http.StatusMethodNotAllowed {
+		code, msg = "method_not_allowed", "method not allowed for this endpoint"
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	w.ResponseWriter.WriteHeader(status)
+	enc := json.NewEncoder(w.ResponseWriter)
+	enc.SetEscapeHTML(false)
+	enc.Encode(apiError{apiErrorDetail{Code: code, Message: msg}})
+}
+
+// Write swallows the original plain-text body once the envelope has
+// been written in its place.
+func (w *v1ErrorWriter) Write(p []byte) (int, error) {
+	if w.intercepted {
+		return len(p), nil
+	}
+	return w.ResponseWriter.Write(p)
 }
 
 // lookupRequest is the /v1/geolocate body: exactly one of hostname
@@ -165,28 +255,34 @@ func toResult(hostname string, g *core.Geolocation) lookupResult {
 
 func (s *server) handleGeolocate(w http.ResponseWriter, r *http.Request) {
 	defer s.observeLatency(time.Now())
+	// One pointer load per request: the whole request is served by a
+	// single index generation even if a swap lands mid-flight.
+	ix := s.live.Index()
 	var req lookupRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		s.badRequest(w, fmt.Sprintf("malformed request: %v", err))
+		s.writeError(w, http.StatusBadRequest, "malformed_request",
+			fmt.Sprintf("malformed request: %v", err))
 		return
 	}
 	single := req.Hostname != ""
 	batch := len(req.Hostnames) > 0
 	switch {
 	case single == batch:
-		s.badRequest(w, `exactly one of "hostname" and "hostnames" is required`)
+		s.writeError(w, http.StatusBadRequest, "invalid_request",
+			`exactly one of "hostname" and "hostnames" is required`)
 	case batch && len(req.Hostnames) > maxBatch:
-		s.badRequest(w, fmt.Sprintf("batch exceeds %d hostnames", maxBatch))
+		s.writeError(w, http.StatusBadRequest, "batch_too_large",
+			fmt.Sprintf("batch exceeds %d hostnames", maxBatch))
 	case single:
 		s.vars.Add("hostnames", 1)
-		g, _ := s.ix.Lookup(req.Hostname)
+		g, _ := ix.Lookup(req.Hostname)
 		writeJSON(w, http.StatusOK, toResult(req.Hostname, g))
 	default:
 		s.vars.Add("hostnames", int64(len(req.Hostnames)))
 		resp := batchResponse{Results: make([]lookupResult, len(req.Hostnames))}
-		for i, g := range s.ix.LookupBatch(req.Hostnames) {
+		for i, g := range ix.LookupBatch(req.Hostnames) {
 			resp.Results[i] = toResult(req.Hostnames[i], g)
 		}
 		writeJSON(w, http.StatusOK, resp)
@@ -195,16 +291,105 @@ func (s *server) handleGeolocate(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"suffixes": s.ix.Len(),
-		"uptime_s": int64(time.Since(s.start).Seconds()),
+		"status":     "ok",
+		"suffixes":   s.live.Index().Len(),
+		"generation": s.live.Generation(),
+		"uptime_s":   int64(time.Since(s.start).Seconds()),
 	})
 }
 
+// errNoReloadSource marks a reload attempt on a server whose input was
+// not configured for reloading (tests, or a future frozen mode).
+var errNoReloadSource = errors.New("no reloadable source configured")
+
+// reloadStatus is the success body of /v1/admin/reload and the log line
+// payload of a SIGHUP reload. SwapUS covers validation plus the atomic
+// swap — the window in which the replacement exists but is not yet
+// serving; lookups proceed normally throughout.
+type reloadStatus struct {
+	Status     string `json:"status"`
+	Generation uint64 `json:"generation"`
+	Suffixes   int    `json:"suffixes"`
+	BuildUS    int64  `json:"build_us"`
+	SwapUS     int64  `json:"swap_us"`
+}
+
+// reload builds a replacement index from the configured source,
+// validates it against the live one, and swaps it in. Concurrent
+// reloads serialize on reloadMu; lookups are never blocked — they keep
+// hitting the old index until the single atomic store. The old index
+// drains naturally: requests that loaded it finish against it, then the
+// GC reclaims it.
+func (s *server) reload() (reloadStatus, error) {
+	if s.src == nil {
+		return reloadStatus{}, errNoReloadSource
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	sp := s.tracer.Start("reload")
+	defer sp.End()
+	t0 := time.Now()
+	resolved, err := s.src.Resolve(s.ixOpts)
+	if err != nil {
+		s.reloadFailures.Add(1)
+		sp.Count("failures", 1)
+		return reloadStatus{}, err
+	}
+	buildUS := int64(time.Since(t0) / time.Microsecond)
+	t1 := time.Now()
+	if err := geoloc.SpotCheck(s.live.Index(), resolved.Index, spotCheckSamples); err != nil {
+		s.reloadFailures.Add(1)
+		sp.Count("failures", 1)
+		return reloadStatus{}, err
+	}
+	_, gen := s.live.Swap(resolved.Index)
+	swapUS := int64(time.Since(t1) / time.Microsecond)
+	s.reloads.Add(1)
+	s.lastBuildUS.Store(buildUS)
+	s.lastSwapUS.Store(swapUS)
+	sp.Count("suffixes", int64(resolved.Index.Len()))
+	return reloadStatus{
+		Status: "ok", Generation: gen, Suffixes: resolved.Index.Len(),
+		BuildUS: buildUS, SwapUS: swapUS,
+	}, nil
+}
+
+func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
+	st, err := s.reload()
+	switch {
+	case errors.Is(err, errNoReloadSource):
+		s.writeError(w, http.StatusServiceUnavailable, "reload_unavailable", err.Error())
+	case err != nil:
+		s.writeError(w, http.StatusInternalServerError, "reload_failed", err.Error())
+	default:
+		writeJSON(w, http.StatusOK, st)
+	}
+}
+
+// reloadMetricsJSON is the "reload" section of /metrics.
+type reloadMetricsJSON struct {
+	Generation  uint64 `json:"generation"`
+	Reloads     int64  `json:"reloads"`
+	Failures    int64  `json:"failures"`
+	LastBuildUS int64  `json:"last_build_us"`
+	LastSwapUS  int64  `json:"last_swap_us"`
+}
+
+func (s *server) reloadMetrics() reloadMetricsJSON {
+	return reloadMetricsJSON{
+		Generation:  s.live.Generation(),
+		Reloads:     s.reloads.Load(),
+		Failures:    s.reloadFailures.Load(),
+		LastBuildUS: s.lastBuildUS.Load(),
+		LastSwapUS:  s.lastSwapUS.Load(),
+	}
+}
+
 // handleMetrics emits one JSON document: the server's expvar counters,
-// the /v1/geolocate latency histogram, the index's lookup counters, and
-// the per-route span aggregates. `?format=prometheus` switches to the
-// text exposition format (also served at /metrics/prom).
+// the /v1/geolocate latency histogram, the index's lookup counters, the
+// reload lifecycle counters, and the per-route span aggregates.
+// `?format=prometheus` switches to the text exposition format (also
+// served at /metrics/prom).
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	switch f := r.URL.Query().Get("format"); f {
 	case "", "json":
@@ -212,22 +397,28 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.handleMetricsProm(w, r)
 		return
 	default:
-		s.badRequest(w, fmt.Sprintf("unknown format %q (want json or prometheus)", f))
+		s.writeError(w, http.StatusBadRequest, "unknown_format",
+			fmt.Sprintf("unknown format %q (want json or prometheus)", f))
 		return
 	}
-	index, err := json.Marshal(s.ix.Stats())
+	index, err := json.Marshal(s.live.Index().Stats())
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.writeError(w, http.StatusInternalServerError, "internal_error", err.Error())
+		return
+	}
+	reload, err := json.Marshal(s.reloadMetrics())
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "internal_error", err.Error())
 		return
 	}
 	routes, err := json.Marshal(s.tracer.Summary())
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.writeError(w, http.StatusInternalServerError, "internal_error", err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, `{"server":%s,"latency_us":%s,"index":%s,"routes":%s}`+"\n",
-		s.vars.String(), s.latencyJSON(), index, routes)
+	fmt.Fprintf(w, `{"server":%s,"latency_us":%s,"index":%s,"reload":%s,"routes":%s}`+"\n",
+		s.vars.String(), s.latencyJSON(), index, reload, routes)
 }
 
 // latencyJSON renders the latency histogram with buckets in numeric
@@ -277,11 +468,6 @@ func (s *server) observeLatency(start time.Time) {
 		}
 	}
 	s.latency.Add(bucketInf, 1)
-}
-
-func (s *server) badRequest(w http.ResponseWriter, msg string) {
-	s.vars.Add("bad_requests", 1)
-	writeJSON(w, http.StatusBadRequest, map[string]string{"error": msg})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -9,14 +9,17 @@
 //	hoiho -corpus data/aug2020 [-workers n] [-no-learn] [-suffix ntt.net] [-geolocate host]
 //	hoiho -corpus data/aug2020 -write-nc conventions.txt
 //	hoiho -nc conventions.txt -geolocate host      # apply without a corpus
+//	hoiho -snapshot index.snap -geolocate host     # apply a compiled snapshot
 //	hoiho -corpus data/aug2020 -trace out.jsonl -tracesummary   # profile the run
 //
 // The -corpus directory must contain corpus.nodes, corpus.names, and
 // rtt.matrix (corpus.geo is optional and ignored by learning). A
 // conventions file written with -write-nc can later be applied with
-// -nc, without any measurement data — the paper's published-regexes
-// workflow. Loading and application go through internal/geoloc, the
-// same compiled-index path the geoserve daemon serves from.
+// -nc — and a compiled-index snapshot written by geosnap with
+// -snapshot — without any measurement data: the paper's
+// published-regexes workflow. All three inputs resolve through the
+// shared geoloc.Source API, the same compiled-index path the geoserve
+// daemon serves from.
 package main
 
 import (
@@ -39,25 +42,22 @@ import (
 )
 
 func main() {
-	dir := flag.String("corpus", "", "directory with corpus.nodes/corpus.names/rtt.matrix")
-	ncFile := flag.String("nc", "", "apply a published conventions file instead of learning")
+	src := &geoloc.Source{}
+	src.RegisterFlags(flag.CommandLine)
 	writeNC := flag.String("write-nc", "", "write the learned conventions to this file")
-	noLearn := flag.Bool("no-learn", false, "disable stage-4 custom geohint learning")
 	showNames := flag.Bool("names", false, "also learn and print router-name conventions")
 	showASN := flag.Bool("asn", false, "also learn and print ASN conventions (needs asn.map)")
 	onlySuffix := flag.String("suffix", "", "report only this suffix")
 	locate := flag.String("geolocate", "", "after learning, geolocate this hostname")
 	usableOnly := flag.Bool("usable-only", false, "print only good/promising conventions")
-	workers := flag.Int("workers", 0,
-		"suffix groups learned concurrently (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 	traceOut := flag.String("trace", "", "write a JSONL span trace of the run to this file")
 	traceSummary := flag.Bool("tracesummary", false,
 		"print the aggregated per-stage/per-suffix span table to stderr")
 	runtimeStats := flag.Bool("runtimestats", false,
 		"sample runtime telemetry (heap, goroutines, GC pauses) during the run and print it to stderr")
 	flag.Parse()
-	if *dir == "" && *ncFile == "" {
-		fmt.Fprintln(os.Stderr, "hoiho: one of -corpus or -nc is required")
+	if _, err := src.Kind(); err != nil {
+		fmt.Fprintln(os.Stderr, "hoiho:", err)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -78,30 +78,18 @@ func main() {
 		stopSampler = tracer.StartRuntimeSampler(obs.RuntimeOptions{Interval: time.Second})
 	}
 
-	var res *core.Result
+	// One Resolve covers every input kind: snapshot parse, conventions
+	// read, or a full learning run. The compiled Index rides along for
+	// -geolocate; the corpus inputs ride along for -names/-asn.
+	resolved, err := src.Resolve(geoloc.Options{Tracer: tracer})
+	if err != nil {
+		fatal(err)
+	}
+	res := resolved.Result
 	var in core.Inputs
-	haveCorpus := false
-	if *ncFile != "" {
-		var err error
-		res, err = geoloc.LoadConventions(*ncFile)
-		if err != nil {
-			fatal(err)
-		}
-	} else {
-		var err error
-		in, err = geoloc.LoadInputs(*dir)
-		if err != nil {
-			fatal(err)
-		}
-		haveCorpus = true
-		cfg := core.DefaultConfig()
-		cfg.LearnHints = !*noLearn
-		cfg.Workers = *workers
-		cfg.Tracer = tracer
-		res, err = core.Run(in, cfg)
-		if err != nil {
-			fatal(err)
-		}
+	haveCorpus := resolved.Inputs != nil
+	if haveCorpus {
+		in = *resolved.Inputs
 	}
 
 	if *writeNC != "" {
@@ -160,7 +148,7 @@ func main() {
 		if !haveCorpus {
 			fatal(fmt.Errorf("-asn requires -corpus"))
 		}
-		mapping, err := loadASNMap(filepath.Join(*dir, "asn.map"))
+		mapping, err := loadASNMap(filepath.Join(src.Corpus, "asn.map"))
 		if err != nil {
 			fatal(err)
 		}
@@ -172,10 +160,7 @@ func main() {
 	}
 
 	if *locate != "" {
-		ix, err := geoloc.New(res, geoloc.Options{Tracer: tracer})
-		if err != nil {
-			fatal(err)
-		}
+		ix := resolved.Index
 		suffix := ix.Suffix(*locate)
 		if ix.Convention(suffix) == nil {
 			fatal(fmt.Errorf("no convention learned for suffix %q", suffix))

@@ -20,7 +20,7 @@ var (
 func sharedWorld(t *testing.T) (*synth.World, *core.Result) {
 	t.Helper()
 	worldOnce.Do(func() {
-		w, res, err := RunWorld("ipv4-aug2020", 1.0)
+		w, res, err := RunOne("ipv4-aug2020", 1.0, core.DefaultConfig())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -293,14 +293,14 @@ func TestBuildUndnsCoverage(t *testing.T) {
 }
 
 func TestRunSuiteScaling(t *testing.T) {
-	s, err := RunSuite([]string{"ipv6-nov2020"}, 0.5)
+	s, err := Run([]string{"ipv6-nov2020"}, 0.5, core.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(s.Worlds) != 1 || len(s.Results) != 1 {
 		t.Fatal("suite size wrong")
 	}
-	if _, err := RunSuite([]string{"bogus"}, 1); err == nil {
+	if _, err := Run([]string{"bogus"}, 1, core.DefaultConfig()); err == nil {
 		t.Error("unknown preset should error")
 	}
 }

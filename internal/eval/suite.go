@@ -72,37 +72,6 @@ func RunOne(name string, scale float64, cfg core.Config) (*synth.World, *core.Re
 	return s.Worlds[0], s.Results[0], nil
 }
 
-// RunSuite runs the suite with the default configuration.
-//
-// Deprecated: use Run, which takes the configuration explicitly.
-func RunSuite(names []string, scale float64) (*Suite, error) {
-	return Run(names, scale, core.DefaultConfig())
-}
-
-// RunSuiteConfig runs the suite with an explicit configuration.
-//
-// Deprecated: use Run; this is a renamed alias kept for callers of the
-// pre-serving-layer API.
-func RunSuiteConfig(names []string, scale float64, cfg core.Config) (*Suite, error) {
-	return Run(names, scale, cfg)
-}
-
-// RunWorld evaluates one preset world with the default configuration.
-//
-// Deprecated: use RunOne, which takes the configuration explicitly.
-func RunWorld(name string, scale float64) (*synth.World, *core.Result, error) {
-	return RunOne(name, scale, core.DefaultConfig())
-}
-
-// RunWorldConfig evaluates one preset world with an explicit
-// configuration.
-//
-// Deprecated: use RunOne; this is a renamed alias kept for callers of
-// the pre-serving-layer API.
-func RunWorldConfig(name string, scale float64, cfg core.Config) (*synth.World, *core.Result, error) {
-	return RunOne(name, scale, cfg)
-}
-
 // RunWorldNoLearn re-runs the pipeline on an existing world with stage-4
 // hint learning disabled (the §6.1 ablation).
 func RunWorldNoLearn(w *synth.World) (*core.Result, error) {

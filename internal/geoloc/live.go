@@ -1,0 +1,89 @@
+package geoloc
+
+// Zero-downtime serving: a Live holder publishes the current Index
+// behind an atomic pointer so lookups never block on a reload. A swap
+// is a single pointer store — in-flight requests that already loaded
+// the old Index finish against it (immutability makes that safe), and
+// the old Index drains naturally: once the last in-flight reference is
+// dropped the garbage collector reclaims it. There is no lock on the
+// lookup path and no quiesce window.
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Live is an atomically swappable reference to the serving Index.
+// Index and Swap are safe for concurrent use from any number of
+// goroutines.
+type Live struct {
+	ptr atomic.Pointer[Index]
+	gen atomic.Uint64
+}
+
+// NewLive publishes ix as generation 1.
+func NewLive(ix *Index) *Live {
+	l := &Live{}
+	l.ptr.Store(ix)
+	l.gen.Store(1)
+	return l
+}
+
+// Index returns the current serving index. Callers should load it once
+// per request and use that reference throughout, so a mid-request swap
+// cannot split one request across two indexes.
+func (l *Live) Index() *Index { return l.ptr.Load() }
+
+// Swap atomically replaces the serving index, returning the index it
+// displaced and the new generation number. The old index remains valid
+// for readers that already hold it.
+func (l *Live) Swap(next *Index) (old *Index, gen uint64) {
+	old = l.ptr.Swap(next)
+	return old, l.gen.Add(1)
+}
+
+// Generation returns the current generation: 1 for the boot index,
+// incremented by every Swap.
+func (l *Live) Generation() uint64 { return l.gen.Load() }
+
+// SpotCheck validates a replacement index before it is swapped in: the
+// replacement must be non-nil and non-empty, probe lookups over a
+// deterministic sample of its suffixes must complete (exercising
+// normalization, PSL dispatch, and the compiled matchers), and for
+// sampled suffixes the old and new index must agree on dispatch — a
+// probe hostname under a shared suffix must route to the same
+// registrable domain in both, which catches a PSL or normalization skew
+// between build and serve. old may be nil (boot); samples <= 0 checks
+// every suffix.
+//
+// The probes run against the real lookup path, so they count in the new
+// index's stats and may seed its cache; both effects are harmless. The
+// probes' lookup outcomes are deliberately not asserted — whether a
+// probe matches depends on the learned regexes, which a reload is
+// allowed to change.
+func SpotCheck(old, next *Index, samples int) error {
+	if next == nil {
+		return fmt.Errorf("geoloc: spot-check: replacement index is nil")
+	}
+	if next.Len() == 0 {
+		return fmt.Errorf("geoloc: spot-check: replacement index is empty")
+	}
+	suffixes := next.Suffixes()
+	if samples > 0 && len(suffixes) > samples {
+		suffixes = suffixes[:samples]
+	}
+	for _, suffix := range suffixes {
+		probe := "spotcheck." + suffix
+		next.Lookup(probe) // must complete: dispatch + matcher walk, no panic
+		if got := next.Suffix(probe); got != suffix {
+			return fmt.Errorf("geoloc: spot-check: probe %q dispatches to %q, want %q", probe, got, suffix)
+		}
+		if old != nil && old.Convention(suffix) != nil {
+			if oldGot := old.Suffix(probe); oldGot != suffix {
+				return fmt.Errorf("geoloc: spot-check: dispatch skew on %s: old index routes %q to %q",
+					suffix, probe, oldGot)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package geoloc
+
+import (
+	"sync"
+	"testing"
+
+	"hoiho/internal/core"
+)
+
+func TestLiveSwapGeneration(t *testing.T) {
+	ixA := newTestIndex(t, Options{CacheSize: -1})
+	ixB := newTestIndex(t, Options{CacheSize: -1})
+	live := NewLive(ixA)
+	if live.Generation() != 1 {
+		t.Fatalf("boot generation = %d, want 1", live.Generation())
+	}
+	if live.Index() != ixA {
+		t.Fatal("boot index not served")
+	}
+	old, gen := live.Swap(ixB)
+	if old != ixA || gen != 2 {
+		t.Fatalf("Swap returned (%p, %d), want (%p, 2)", old, gen, ixA)
+	}
+	if live.Index() != ixB || live.Generation() != 2 {
+		t.Fatal("swap did not publish the replacement")
+	}
+}
+
+// TestLiveConcurrentSwaps drives lookups from many goroutines while the
+// index is swapped repeatedly — the zero-downtime property, checked
+// under the race detector in CI. Every lookup must complete against a
+// coherent index; a request that loaded the old pointer finishes on it.
+func TestLiveConcurrentSwaps(t *testing.T) {
+	ixA := newTestIndex(t, Options{CacheSize: -1})
+	ixB := newTestIndex(t, Options{CacheSize: -1})
+	live := NewLive(ixA)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ix := live.Index()
+				for _, host := range probeHosts {
+					ix.Lookup(host)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		next := ixB
+		if i%2 == 1 {
+			next = ixA
+		}
+		if err := SpotCheck(live.Index(), next, 8); err != nil {
+			t.Errorf("swap %d: spot check failed: %v", i, err)
+		}
+		live.Swap(next)
+	}
+	close(stop)
+	wg.Wait()
+	if live.Generation() != 51 {
+		t.Fatalf("generation = %d after 50 swaps, want 51", live.Generation())
+	}
+}
+
+func TestSpotCheckRejectsBadReplacements(t *testing.T) {
+	ix := newTestIndex(t, Options{CacheSize: -1})
+	if err := SpotCheck(ix, nil, 0); err == nil {
+		t.Error("nil replacement should fail the spot check")
+	}
+	empty, err := New(&core.Result{NCs: map[string]*core.NamingConvention{}},
+		Options{Dict: ix.dict, PSL: ix.list})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SpotCheck(ix, empty, 0); err == nil {
+		t.Error("empty replacement should fail the spot check")
+	}
+	if err := SpotCheck(nil, ix, 0); err != nil {
+		t.Errorf("boot spot check (no old index) failed: %v", err)
+	}
+	if err := SpotCheck(ix, ix, 2); err != nil {
+		t.Errorf("self spot check failed: %v", err)
+	}
+}

@@ -1,7 +1,6 @@
 package geoloc
 
 import (
-	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -52,27 +51,6 @@ func LoadInputs(dir string) (core.Inputs, error) {
 		return in, err
 	}
 	return core.Inputs{Dict: dict, PSL: list, Corpus: corpus, RTT: matrix}, nil
-}
-
-// LoadResult obtains conventions for serving: from a published
-// conventions file when ncPath is set, otherwise by learning over the
-// corpus directory with cfg. Exactly one of ncPath and corpusDir must
-// be non-empty — the same contract as the hoiho CLI's -nc / -corpus
-// flags, which geoserve mirrors.
-func LoadResult(ncPath, corpusDir string, cfg core.Config) (*core.Result, error) {
-	switch {
-	case ncPath != "" && corpusDir != "":
-		return nil, fmt.Errorf("geoloc: conventions file and corpus directory are mutually exclusive")
-	case ncPath != "":
-		return LoadConventions(ncPath)
-	case corpusDir != "":
-		in, err := LoadInputs(corpusDir)
-		if err != nil {
-			return nil, err
-		}
-		return core.Run(in, cfg)
-	}
-	return nil, fmt.Errorf("geoloc: a conventions file or corpus directory is required")
 }
 
 // readCorpus concatenates the nodes and names files (geo is optional).

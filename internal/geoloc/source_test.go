@@ -1,0 +1,169 @@
+package geoloc
+
+import (
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hoiho/internal/core"
+)
+
+func TestSourceKindContract(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     Source
+		kind    Kind
+		wantErr string
+	}{
+		{"none", Source{}, FromNone, "is required"},
+		{"snapshot", Source{Snapshot: "ix.snap"}, FromSnapshot, ""},
+		{"nc", Source{NC: "nc.txt"}, FromConventions, ""},
+		{"corpus", Source{Corpus: "dir"}, FromCorpus, ""},
+		{"snapshot+nc", Source{Snapshot: "a", NC: "b"}, FromNone, "mutually exclusive"},
+		{"nc+corpus", Source{NC: "b", Corpus: "c"}, FromNone, "mutually exclusive"},
+		{"all three", Source{Snapshot: "a", NC: "b", Corpus: "c"}, FromNone, "mutually exclusive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			kind, err := tc.src.Kind()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatal(err)
+				}
+				if kind != tc.kind {
+					t.Fatalf("kind = %v, want %v", kind, tc.kind)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestSourceRegisterFlags(t *testing.T) {
+	src := &Source{Corpus: "default-corpus", Workers: 3}
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	src.RegisterFlags(fs)
+	if err := fs.Parse([]string{"-snapshot", "ix.snap", "-corpus", "", "-no-learn"}); err != nil {
+		t.Fatal(err)
+	}
+	if src.Snapshot != "ix.snap" || src.Corpus != "" || !src.NoLearn || src.Workers != 3 {
+		t.Fatalf("parsed source = %+v", src)
+	}
+	kind, err := src.Kind()
+	if err != nil || kind != FromSnapshot {
+		t.Fatalf("kind = %v, %v", kind, err)
+	}
+	if got := src.Describe(); got != "snapshot ix.snap" {
+		t.Fatalf("Describe() = %q", got)
+	}
+	cfg := src.CoreConfig(nil)
+	if cfg.LearnHints || cfg.Workers != 3 {
+		t.Fatalf("CoreConfig: LearnHints=%v Workers=%d", cfg.LearnHints, cfg.Workers)
+	}
+}
+
+// TestSourceResolveEquivalence resolves the same learned conventions
+// through all three input kinds and checks the compiled indexes serve
+// identically — the property that makes -snapshot/-nc/-corpus
+// interchangeable across the commands.
+func TestSourceResolveEquivalence(t *testing.T) {
+	res, dict, list := learnFixture(t)
+	opts := Options{Dict: dict, PSL: list, CacheSize: -1}
+	direct, err := New(res, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	ncPath := filepath.Join(dir, "conventions.txt")
+	ncFile, err := os.Create(ncPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.WriteConventions(ncFile, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := ncFile.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, "index.snap")
+	snapFile, err := os.Create(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(snapFile, res, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := snapFile.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		src  Source
+	}{
+		{"nc", Source{NC: ncPath}},
+		{"snapshot", Source{Snapshot: snapPath}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resolved, err := tc.src.Resolve(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resolved.Inputs != nil {
+				t.Error("non-corpus resolve should not carry corpus inputs")
+			}
+			if resolved.Index.Len() != direct.Len() {
+				t.Fatalf("index size %d, want %d", resolved.Index.Len(), direct.Len())
+			}
+			for _, host := range probeHosts {
+				if d, g := lookupKey(direct, host), lookupKey(resolved.Index, host); d != g {
+					t.Errorf("lookup %q diverged: direct %s, %s %s", host, d, tc.name, g)
+				}
+			}
+		})
+	}
+}
+
+func TestSourceResolveCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden pipeline run in -short mode")
+	}
+	src := Source{Corpus: filepath.Join("..", "..", "testdata", "golden")}
+	resolved, err := src.Resolve(Options{CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolved.Inputs == nil {
+		t.Fatal("corpus resolve must carry the loaded inputs")
+	}
+	if resolved.Index.Len() == 0 || len(resolved.Result.NCs) == 0 {
+		t.Fatal("corpus resolve produced an empty index")
+	}
+}
+
+func TestSourceResolveErrors(t *testing.T) {
+	if _, err := (&Source{}).Resolve(Options{}); err == nil {
+		t.Error("resolving an unset source should fail")
+	}
+	if _, err := (&Source{Snapshot: "/nonexistent.snap"}).Resolve(Options{}); err == nil {
+		t.Error("resolving a missing snapshot should fail")
+	}
+	// A conventions file fed to -snapshot must fail with the typed
+	// bad-magic error, wrapped with the path for the CLI message.
+	dir := t.TempDir()
+	ncPath := filepath.Join(dir, "nc.txt")
+	if err := os.WriteFile(ncPath, []byte("# not a snapshot\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := (&Source{Snapshot: ncPath}).Resolve(Options{})
+	if !errors.Is(err, ErrSnapshotMagic) {
+		t.Errorf("got %v, want errors.Is(err, ErrSnapshotMagic)", err)
+	}
+}

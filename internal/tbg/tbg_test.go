@@ -21,7 +21,7 @@ var (
 func world(t *testing.T) (*synth.World, *core.Result, Anchors) {
 	t.Helper()
 	worldOnce.Do(func() {
-		cachedWorld, cachedRes, worldErr = eval.RunWorld("ipv4-aug2020", 0.5)
+		cachedWorld, cachedRes, worldErr = eval.RunOne("ipv4-aug2020", 0.5, core.DefaultConfig())
 		if worldErr == nil {
 			cachedAnchor = BuildAnchors(cachedWorld.Inputs(), cachedRes, cachedWorld.PSL)
 		}
