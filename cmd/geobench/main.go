@@ -37,6 +37,7 @@ import (
 	"hoiho/internal/benchrec"
 	"hoiho/internal/core"
 	"hoiho/internal/geoloc"
+	"hoiho/internal/lint"
 	"hoiho/internal/obs"
 	"hoiho/internal/rex"
 )
@@ -198,6 +199,7 @@ func suiteNames() []string {
 		"GoldenEndToEnd       LoadInputs + core.Run + WriteConventions",
 		"SnapshotLoad         geoloc.Load of an in-memory snapshot (decode + compile)",
 		"ReloadSwap           SpotCheck + atomic Live swap between two prebuilt indexes",
+		"LintModule           lint.LoadModule + all analyzers self-hosted over this repo",
 	}
 }
 
@@ -354,6 +356,27 @@ func newSuite(src *geoloc.Source) (*suite, error) {
 					b.Fatal(err)
 				}
 				live.Swap(next)
+			}
+		}},
+		{"LintModule", func(b *testing.B) {
+			// Tracks the analysis engine itself: a full type-checked module
+			// load plus every registered analyzer (CFG + dataflow included),
+			// the same work the CI lint gate does on each push.
+			root, err := lint.FindModuleRoot(".")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pkgs, err := lint.LoadModule(root)
+				if err != nil {
+					b.Fatal(err)
+				}
+				diags := lint.Run(pkgs, lint.All())
+				if i == 0 {
+					b.ReportMetric(float64(len(pkgs)), "packages")
+					b.ReportMetric(float64(len(diags)), "findings")
+				}
 			}
 		}},
 	}

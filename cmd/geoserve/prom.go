@@ -40,10 +40,10 @@ func (s *server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 	s.promRoutes(pw)
 	s.promRuntime(pw)
 
-	if err := pw.w.Flush(); err != nil {
-		// The connection is gone; nothing useful to do.
-		_ = err
-	}
+	// bufio latches the first write error and surfaces it here; a Flush
+	// failure means the scraper hung up mid-response.
+	//lint:ignore droppederr client gone mid-scrape; a failed exposition write has no one left to tell
+	pw.w.Flush()
 }
 
 // promLatency renders the request-duration histogram. The expvar

@@ -193,6 +193,7 @@ func (w *v1ErrorWriter) WriteHeader(status int) {
 	w.ResponseWriter.WriteHeader(status)
 	enc := json.NewEncoder(w.ResponseWriter)
 	enc.SetEscapeHTML(false)
+	//lint:ignore droppederr an Encode failure here means the client disconnected; the response is already committed
 	enc.Encode(apiError{apiErrorDetail{Code: code, Message: msg}})
 }
 
@@ -417,6 +418,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	//lint:ignore droppederr a write failure means the client disconnected; there is no channel to report it
 	fmt.Fprintf(w, `{"server":%s,"latency_us":%s,"index":%s,"reload":%s,"routes":%s}`+"\n",
 		s.vars.String(), s.latencyJSON(), index, reload, routes)
 }
@@ -475,5 +477,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
+	//lint:ignore droppederr the status line is already on the wire; an Encode failure means the client hung up
 	enc.Encode(v)
 }

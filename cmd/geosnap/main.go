@@ -91,7 +91,8 @@ func writeAtomic(path string, res *core.Result) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	//lint:ignore droppederr best-effort cleanup; a no-op after the rename succeeds, and the temp dir entry is harmless if it fails
+	defer os.Remove(tmp.Name())
 	if err := geoloc.Save(tmp, res, nil); err != nil {
 		tmp.Close()
 		return 0, err

@@ -98,8 +98,7 @@ func main() {
 			fatal(err)
 		}
 		if err := core.WriteConventions(f, res); err != nil {
-			f.Close()
-			fatal(err)
+			fatal(err) // exits; the OS reclaims the half-written file's fd
 		}
 		if err := f.Close(); err != nil {
 			fatal(err)
@@ -183,8 +182,7 @@ func main() {
 			fatal(err)
 		}
 		if err := tracer.WriteJSONL(f); err != nil {
-			f.Close()
-			fatal(err)
+			fatal(err) // exits; the OS reclaims the half-written file's fd
 		}
 		if err := f.Close(); err != nil {
 			fatal(err)

@@ -1,18 +1,24 @@
 // Command hoiholint runs hoiho's project-specific static analyzers —
 // the machine-enforced determinism and concurrency invariants described
-// in DESIGN.md. It is built only on the standard library's go/parser,
-// go/ast, and go/types; there is no x/tools dependency, so it runs
-// anywhere the repo builds.
+// in DESIGN.md — over a CFG/dataflow analysis engine. It is built only
+// on the standard library's go/parser, go/ast, and go/types; there is
+// no x/tools dependency, so it runs anywhere the repo builds.
 //
 // Usage:
 //
-//	hoiholint [-list] [-checks maporder,lazyinit] [packages...]
+//	hoiholint [-list] [-checks maporder,unlockpath] [-sarif|-json] [-o file] [packages...]
 //
 // Package patterns are module-relative: "./..." (the default) analyzes
 // everything, "./internal/..." a subtree, "./internal/rex" a single
 // package. Test files are exempt by design. Findings print one per
 // line as file:line:col: check: message, sorted, and the exit status
 // is 1 when there are any — the tool is a blocking CI step.
+//
+// -sarif writes a SARIF 2.1.0 report (the format GitHub code scanning
+// ingests as PR annotations) and -json a plain diagnostic array, each
+// to stdout or to the -o file; both are emitted even when there are no
+// findings, and the exit status still reports them. The human lines
+// are suppressed in machine modes.
 //
 // Suppress a single finding with a trailing or preceding comment:
 //
@@ -24,6 +30,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -34,12 +41,19 @@ func main() {
 	list := flag.Bool("list", false, "list the registered checks and exit")
 	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	verbose := flag.Bool("v", false, "report type-check errors encountered while loading")
+	sarif := flag.Bool("sarif", false, "write a SARIF 2.1.0 report instead of human-readable lines")
+	jsonOut := flag.Bool("json", false, "write a JSON diagnostic array instead of human-readable lines")
+	outPath := flag.String("o", "", "write the report to this file (default stdout)")
 	flag.Parse()
+
+	if *sarif && *jsonOut {
+		fatal(fmt.Errorf("-sarif and -json are mutually exclusive"))
+	}
 
 	analyzers := lint.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-13s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -81,13 +95,45 @@ func main() {
 	}
 
 	diags := lint.Run(selected, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	switch {
+	case *sarif:
+		if err := writeReport(*outPath, func(w io.Writer) error {
+			return lint.WriteSARIF(w, diags, analyzers, root)
+		}); err != nil {
+			fatal(err)
+		}
+	case *jsonOut:
+		if err := writeReport(*outPath, func(w io.Writer) error {
+			return lint.WriteJSON(w, diags, root)
+		}); err != nil {
+			fatal(err)
+		}
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "hoiholint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// writeReport streams a machine report to -o (atomically enough for
+// CI: create/truncate then write) or to stdout.
+func writeReport(path string, emit func(io.Writer) error) error {
+	if path == "" {
+		return emit(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // selectChecks filters the analyzer set by name, failing loudly on an

@@ -28,6 +28,7 @@ import (
 	"regexp"
 	"runtime"
 	"sort"
+	"strconv"
 	"testing"
 )
 
@@ -218,8 +219,10 @@ func Latest(dir string) (string, error) {
 		if m == nil {
 			continue
 		}
-		var n int
-		fmt.Sscanf(m[1], "%d", &n)
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue // unreachable: the pattern admits only digits
+		}
 		if n > bestN {
 			best, bestN = filepath.Join(dir, e.Name()), n
 		}

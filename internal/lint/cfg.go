@@ -1,0 +1,493 @@
+package lint
+
+// Control-flow graphs: the flow layer under the v2 analyzers. PR 3's
+// analyzers are single-pass AST walkers; they cannot answer "is there a
+// path from this Lock to a return that skips the Unlock" or "is this
+// error definition ever read again". BuildCFG lowers one function body
+// into basic blocks with explicit edges for branches, loops, switches,
+// selects, gotos, returns, and panics, and the dataflow layer
+// (dataflow.go) runs reaching definitions over it. Analyzers opt in
+// through Pass.FuncCFG, which memoizes one graph per function body.
+//
+// The graph is deliberately simple and deterministic:
+//
+//   - Blocks[0] is the synthetic entry, Blocks[1] the synthetic exit.
+//     Every return statement edges to the exit; falling off the end of
+//     the body does too (the implicit return).
+//   - A block's Nodes are the statements and control expressions it
+//     executes, in order. Compound statements never appear themselves —
+//     their pieces (init statements, conditions, case expressions,
+//     bodies) are distributed over the blocks the construct creates.
+//   - Calls that cannot return — panic, os.Exit, log.Fatal*,
+//     runtime.Goexit, testing's (*T).Fatal* — terminate their block
+//     with no successor. They are not edges to exit: a path that ends
+//     in panic is not a normal return, and checks like unlockpath must
+//     not treat it as one (deferred unlocks still run during unwind).
+//   - Defer statements execute in place (their arguments are evaluated
+//     immediately) and are additionally recorded in Defers, since their
+//     calls run at every function exit.
+//   - Function literals are opaque: a FuncLit is a value, not control
+//     flow of the enclosing function, and analyzers get a separate
+//     graph for its body.
+//
+// Unreachable statements (after a return, break, or panic) start a
+// fresh block with no predecessors, so every statement of the function
+// appears in exactly one block either way.
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Block is one basic block: straight-line nodes, then a transfer of
+// control to every block in Succs.
+type Block struct {
+	Index int
+	// Kind names the role the builder gave the block ("entry", "exit",
+	// "if.then", "for.head", ...) — for tests and debugging only.
+	Kind  string
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// CFG is the control-flow graph of a single function body.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	// Defers lists every defer statement in the body (nested literals
+	// excluded): their calls run at each exit, normal or panicking.
+	Defers []*ast.DeferStmt
+}
+
+// BuildCFG lowers a function body into a control-flow graph.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		labels: make(map[string]*Block),
+	}
+	b.cfg.Entry = b.newBlock("entry")
+	b.cfg.Exit = b.newBlock("exit")
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, b.cfg.Exit) // implicit return off the end
+	}
+	return b.cfg
+}
+
+// DebugString renders the graph one block per line —
+// "b2 for.head n=1 -> b3 b1" — deterministically, for the fixture
+// tests that pin construction shapes.
+func (c *CFG) DebugString() string {
+	var sb strings.Builder
+	for _, blk := range c.Blocks {
+		fmt.Fprintf(&sb, "b%d %s n=%d", blk.Index, blk.Kind, len(blk.Nodes))
+		if len(blk.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range blk.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// frame is one enclosing breakable construct. Loops set cont; switches
+// and selects leave it nil so `continue` skips past them.
+type frame struct {
+	label string
+	brk   *Block
+	cont  *Block
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	// cur is the block under construction; nil after a terminator
+	// (return, break, goto, panic) until the next statement starts an
+	// unreachable block or a join is installed.
+	cur    *Block
+	frames []frame
+	labels map[string]*Block
+	// pendingLabel names the label wrapping the next loop/switch
+	// statement, so `break L` / `continue L` resolve to its frames.
+	pendingLabel string
+	// fallTo is the next case body during switch construction, the
+	// target of a fallthrough statement.
+	fallTo *Block
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends a node to the current block, starting an unreachable
+// block when control cannot reach here.
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	b.ensure()
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) ensure() {
+	//lint:ignore lazyinit cfgBuilder is created and driven by a single goroutine per BuildCFG call; cur is builder state, not a shared cache
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	// Any statement other than the labeled loop/switch the label waits
+	// for consumes it as a plain goto-style target.
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, b.takeLabel())
+	case *ast.RangeStmt:
+		b.rangeStmt(s, b.takeLabel())
+	case *ast.SwitchStmt:
+		b.add(s.Init)
+		b.add(s.Tag)
+		b.switchClauses(s.Body, "switch", b.takeLabel(), true)
+	case *ast.TypeSwitchStmt:
+		b.add(s.Init)
+		b.add(s.Assign)
+		b.switchClauses(s.Body, "typeswitch", b.takeLabel(), true)
+	case *ast.SelectStmt:
+		b.switchClauses(s.Body, "select", b.takeLabel(), false)
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		if b.cur != nil {
+			b.edge(b.cur, lb)
+		}
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if isTerminalCall(s.X) {
+			b.cur = nil
+		}
+	default:
+		// Assignments, declarations, sends, go statements, inc/dec,
+		// empty statements: straight-line nodes.
+		b.add(s)
+	}
+}
+
+// takeLabel consumes the pending label so it binds to the construct
+// being built right now, not to one nested inside it.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + name)
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	b.add(s.Init)
+	b.add(s.Cond)
+	b.ensure()
+	cond := b.cur
+
+	then := b.newBlock("if.then")
+	b.edge(cond, then)
+	var els *Block
+	if s.Else != nil {
+		els = b.newBlock("if.else")
+		b.edge(cond, els)
+	}
+
+	b.cur = then
+	b.stmt(s.Body)
+	thenEnd := b.cur
+
+	var elseEnd *Block
+	if s.Else != nil {
+		b.cur = els
+		b.stmt(s.Else)
+		elseEnd = b.cur
+	}
+
+	// Join only where some path actually continues.
+	var into []*Block
+	if thenEnd != nil {
+		into = append(into, thenEnd)
+	}
+	if s.Else == nil {
+		into = append(into, cond)
+	} else if elseEnd != nil {
+		into = append(into, elseEnd)
+	}
+	if len(into) == 0 {
+		b.cur = nil
+		return
+	}
+	join := b.newBlock("if.join")
+	for _, from := range into {
+		b.edge(from, join)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	b.add(s.Init)
+	b.ensure()
+	from := b.cur
+
+	head := b.newBlock("for.head")
+	b.edge(from, head)
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+	}
+	join := b.newBlock("for.join")
+	if s.Cond != nil {
+		b.edge(head, join)
+	}
+	body := b.newBlock("for.body")
+	b.edge(head, body)
+
+	cont := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		post.Nodes = append(post.Nodes, s.Post)
+		b.edge(post, head)
+		cont = post
+	}
+
+	b.frames = append(b.frames, frame{label: label, brk: join, cont: cont})
+	b.cur = body
+	b.stmt(s.Body)
+	if b.cur != nil {
+		b.edge(b.cur, cont)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = join
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	b.ensure()
+	from := b.cur
+
+	// The range statement itself is the head's node: it evaluates X and
+	// defines Key/Value each iteration.
+	head := b.newBlock("range.head")
+	head.Nodes = append(head.Nodes, s)
+	b.edge(from, head)
+	join := b.newBlock("range.join")
+	b.edge(head, join)
+	body := b.newBlock("range.body")
+	b.edge(head, body)
+
+	b.frames = append(b.frames, frame{label: label, brk: join, cont: head})
+	b.cur = body
+	b.stmt(s.Body)
+	if b.cur != nil {
+		b.edge(b.cur, head)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = join
+}
+
+// switchClauses builds the clause fan-out shared by switch, type
+// switch, and select. tagged switches fall through to the join when no
+// default clause matches; a select blocks until some clause is ready,
+// so it gets no such edge.
+func (b *cfgBuilder) switchClauses(body *ast.BlockStmt, kind, label string, defaultFallsThrough bool) {
+	b.ensure()
+	head := b.cur
+	join := b.newBlock(kind + ".join")
+	b.frames = append(b.frames, frame{label: label, brk: join})
+
+	// Create every clause block first so fallthrough can target the
+	// next body before it is built.
+	type clause struct {
+		blk  *Block
+		body []ast.Stmt
+	}
+	var clauses []clause
+	hasDefault := false
+	for _, cs := range body.List {
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			ckind := kind + ".case"
+			if cs.List == nil {
+				ckind = kind + ".default"
+				hasDefault = true
+			}
+			blk := b.newBlock(ckind)
+			for _, e := range cs.List {
+				blk.Nodes = append(blk.Nodes, e)
+			}
+			b.edge(head, blk)
+			clauses = append(clauses, clause{blk, cs.Body})
+		case *ast.CommClause:
+			ckind := kind + ".case"
+			if cs.Comm == nil {
+				ckind = kind + ".default"
+				hasDefault = true
+			}
+			blk := b.newBlock(ckind)
+			if cs.Comm != nil {
+				blk.Nodes = append(blk.Nodes, cs.Comm)
+			}
+			b.edge(head, blk)
+			clauses = append(clauses, clause{blk, cs.Body})
+		}
+	}
+	if defaultFallsThrough && !hasDefault {
+		b.edge(head, join)
+	}
+
+	prevFall := b.fallTo
+	for i, c := range clauses {
+		b.fallTo = nil
+		if i+1 < len(clauses) {
+			b.fallTo = clauses[i+1].blk
+		}
+		b.cur = c.blk
+		b.stmtList(c.body)
+		if b.cur != nil {
+			b.edge(b.cur, join)
+		}
+	}
+	b.fallTo = prevFall
+
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = join
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if f := b.findFrame(label, false); f != nil {
+			b.edge(b.cur, f.brk)
+		}
+	case token.CONTINUE:
+		if f := b.findFrame(label, true); f != nil {
+			b.edge(b.cur, f.cont)
+		}
+	case token.GOTO:
+		b.edge(b.cur, b.labelBlock(label))
+	case token.FALLTHROUGH:
+		if b.fallTo != nil {
+			b.edge(b.cur, b.fallTo)
+		}
+	}
+	b.cur = nil
+}
+
+// findFrame resolves a break/continue target: the innermost frame, the
+// innermost loop frame (needLoop), or the frame carrying the label.
+func (b *cfgBuilder) findFrame(label string, needLoop bool) *frame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needLoop && f.cont == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+// ShallowParts returns the sub-nodes of a block node that the block
+// itself executes. For most nodes that is just the node; for a
+// RangeStmt — the one compound statement stored whole, as the loop
+// head — it is the key, value, and ranged expression, because the body
+// lives in its own blocks and scanning it from the head would count
+// loop-body work on the head's paths.
+func ShallowParts(n ast.Node) []ast.Node {
+	rng, ok := n.(*ast.RangeStmt)
+	if !ok {
+		return []ast.Node{n}
+	}
+	var parts []ast.Node
+	if rng.Key != nil {
+		parts = append(parts, rng.Key)
+	}
+	if rng.Value != nil {
+		parts = append(parts, rng.Value)
+	}
+	return append(parts, rng.X)
+}
+
+// isTerminalCall reports whether the expression is a call that never
+// returns: panic, os.Exit, runtime.Goexit, log.Fatal*/Panic*, or a
+// method named Fatal/Fatalf (testing.T and friends). Purely syntactic —
+// the graph must be buildable before type checking succeeds.
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			switch pkg.Name {
+			case "os":
+				return name == "Exit"
+			case "runtime":
+				return name == "Goexit"
+			case "log":
+				return strings.HasPrefix(name, "Fatal") || strings.HasPrefix(name, "Panic")
+			}
+		}
+		return name == "Fatal" || name == "Fatalf"
+	}
+	return false
+}

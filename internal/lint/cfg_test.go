@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// parseShapes parses the committed CFG fixture corpus and returns its
+// function declarations in source order.
+func parseShapes(t *testing.T) []*ast.FuncDecl {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filepath.Join("testdata", "cfg", "shapes.go"), nil, 0)
+	if err != nil {
+		t.Fatalf("parse shapes.go: %v", err)
+	}
+	var funcs []*ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			funcs = append(funcs, fd)
+		}
+	}
+	if len(funcs) == 0 {
+		t.Fatal("no functions in shapes.go")
+	}
+	return funcs
+}
+
+// TestCFGShapesGolden pins the lowered graph of every fixture function.
+// A diff here means the builder changed shape — review it, then rerun
+// with -update.
+func TestCFGShapesGolden(t *testing.T) {
+	var sb strings.Builder
+	for _, fd := range parseShapes(t) {
+		fmt.Fprintf(&sb, "== %s\n%s", fd.Name.Name, BuildCFG(fd.Body).DebugString())
+	}
+	got := sb.String()
+
+	goldenPath := filepath.Join("testdata", "cfg", "shapes.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("CFG shapes drifted from golden.\n-- got --\n%s\n-- want --\n%s", got, want)
+	}
+}
+
+// TestCFGInvariants checks the structural properties every graph must
+// satisfy, independent of the golden rendering.
+func TestCFGInvariants(t *testing.T) {
+	for _, fd := range parseShapes(t) {
+		cfg := BuildCFG(fd.Body)
+		name := fd.Name.Name
+		if cfg.Entry != cfg.Blocks[0] {
+			t.Errorf("%s: entry is not Blocks[0]", name)
+		}
+		if cfg.Exit != cfg.Blocks[1] {
+			t.Errorf("%s: exit is not Blocks[1]", name)
+		}
+		if len(cfg.Exit.Succs) != 0 {
+			t.Errorf("%s: exit has successors %v", name, cfg.Exit.Succs)
+		}
+		for _, blk := range cfg.Blocks {
+			if blk.Index >= len(cfg.Blocks) || cfg.Blocks[blk.Index] != blk {
+				t.Errorf("%s: block index %d does not round-trip", name, blk.Index)
+			}
+			for _, s := range blk.Succs {
+				if !containsBlock(s.Preds, blk) {
+					t.Errorf("%s: edge b%d->b%d missing from Preds", name, blk.Index, s.Index)
+				}
+			}
+			for _, p := range blk.Preds {
+				if !containsBlock(p.Succs, blk) {
+					t.Errorf("%s: pred edge b%d->b%d missing from Succs", name, p.Index, blk.Index)
+				}
+			}
+		}
+	}
+}
+
+func containsBlock(list []*Block, b *Block) bool {
+	for _, x := range list {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCFGTerminators pins the panic/os.Exit semantics: a terminated
+// block has no successors (it is not a normal return), and the
+// function's defers are recorded.
+func TestCFGTerminators(t *testing.T) {
+	funcs := make(map[string]*ast.FuncDecl)
+	for _, fd := range parseShapes(t) {
+		funcs[fd.Name.Name] = fd
+	}
+
+	// deferAndPanic: one recorded defer; the panic block dead-ends.
+	cfg := BuildCFG(funcs["deferAndPanic"].Body)
+	if len(cfg.Defers) != 1 {
+		t.Errorf("deferAndPanic: %d defers recorded, want 1", len(cfg.Defers))
+	}
+	if blk := blockContaining(cfg, "panic"); blk == nil {
+		t.Error("deferAndPanic: no block contains the panic call")
+	} else if len(blk.Succs) != 0 {
+		t.Errorf("deferAndPanic: panic block has successors %v, want none", blk.Succs)
+	}
+
+	// exits: the os.Exit block dead-ends the same way.
+	cfg = BuildCFG(funcs["exits"].Body)
+	if blk := blockContaining(cfg, "os.Exit"); blk == nil {
+		t.Error("exits: no block contains os.Exit")
+	} else if len(blk.Succs) != 0 {
+		t.Errorf("exits: os.Exit block has successors %v, want none", blk.Succs)
+	}
+
+	// forever: an empty infinite loop never reaches exit from entry.
+	// (The loop's join block still edges to exit by the fall-off
+	// convention, but nothing reaches that join.)
+	cfg = BuildCFG(funcs["forever"].Body)
+	if reachableFromEntry(cfg)[cfg.Exit.Index] {
+		t.Error("forever: exit is reachable from entry, want unreachable")
+	}
+
+	// deadTail: the statements after return land in a block with no
+	// predecessors.
+	cfg = BuildCFG(funcs["deadTail"].Body)
+	found := false
+	for _, blk := range cfg.Blocks {
+		if blk.Kind == "unreachable" && len(blk.Preds) == 0 && len(blk.Nodes) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("deadTail: no predecessor-less unreachable block for the dead statements")
+	}
+}
+
+func reachableFromEntry(cfg *CFG) []bool {
+	seen := make([]bool, len(cfg.Blocks))
+	stack := []*Block{cfg.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b.Index] {
+			continue
+		}
+		seen[b.Index] = true
+		stack = append(stack, b.Succs...)
+	}
+	return seen
+}
+
+func blockContaining(cfg *CFG, callText string) *Block {
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			found := false
+			ast.Inspect(n, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					if ExprString(token.NewFileSet(), call.Fun) == callText {
+						found = true
+						return false
+					}
+				}
+				return true
+			})
+			if found {
+				return blk
+			}
+		}
+	}
+	return nil
+}
+
+// FuzzCFG feeds arbitrary statement lists through the builder and
+// checks the structural invariants hold for whatever parses.
+func FuzzCFG(f *testing.F) {
+	f.Add("x := 1\nif x > 0 { return }")
+	f.Add("for i := 0; i < 3; i++ { continue }")
+	f.Add("switch x := 1; x {\ncase 1:\n\tfallthrough\ncase 2:\n}")
+	f.Add("L:\nfor {\n\tbreak L\n}")
+	f.Add("goto done\ndone:\nreturn")
+	f.Add("defer f()\npanic(1)")
+	f.Add("select {\ncase <-c:\ndefault:\n}")
+	f.Fuzz(func(t *testing.T, body string) {
+		src := "package p\nfunc f() {\n" + body + "\n}"
+		file, err := parser.ParseFile(token.NewFileSet(), "fuzz.go", src, 0)
+		if err != nil {
+			t.Skip()
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			cfg := BuildCFG(fd.Body)
+			if cfg.Entry != cfg.Blocks[0] || cfg.Exit != cfg.Blocks[1] {
+				t.Fatal("entry/exit not at fixed indexes")
+			}
+			for _, blk := range cfg.Blocks {
+				for _, s := range blk.Succs {
+					if !containsBlock(s.Preds, blk) {
+						t.Fatalf("asymmetric edge b%d->b%d", blk.Index, s.Index)
+					}
+				}
+			}
+			if a, b := cfg.DebugString(), cfg.DebugString(); a != b {
+				t.Fatal("DebugString not deterministic")
+			}
+		}
+	})
+}

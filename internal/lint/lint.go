@@ -74,6 +74,9 @@ type Package struct {
 	suppressions map[string]map[int][]string
 	// malformed records lint:ignore comments missing a check or reason.
 	malformed []Diagnostic
+	// cfgs memoizes one control-flow graph per function body, shared
+	// by every flow-aware analyzer that visits the package.
+	cfgs map[*ast.BlockStmt]*CFG
 }
 
 // newPackage builds an empty Package with its suppression table ready,
@@ -84,6 +87,7 @@ func newPackage(path, dir string, fset *token.FileSet) *Package {
 		Dir:          dir,
 		Fset:         fset,
 		suppressions: make(map[string]map[int][]string),
+		cfgs:         make(map[*ast.BlockStmt]*CFG),
 	}
 }
 
@@ -124,6 +128,18 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	return p.Pkg.Info.TypeOf(e)
 }
 
+// FuncCFG returns the control-flow graph for a function body, building
+// it on first request and memoizing it on the package so every
+// flow-aware analyzer shares one graph per function.
+func (p *Pass) FuncCFG(body *ast.BlockStmt) *CFG {
+	if c, ok := p.Pkg.cfgs[body]; ok {
+		return c
+	}
+	c := BuildCFG(body)
+	p.Pkg.cfgs[body] = c
+	return c
+}
+
 // ExprString renders an expression through go/printer.
 func ExprString(fset *token.FileSet, e ast.Expr) string {
 	var b strings.Builder
@@ -136,12 +152,17 @@ func ExprString(fset *token.FileSet, e ast.Expr) string {
 // All returns the registered analyzers, sorted by name.
 func All() []*Analyzer {
 	as := []*Analyzer{
+		Atomicmix(),
+		Droppederr(),
+		Envelopecheck(),
+		Errsentinel(),
 		Hotcompile(),
 		Lazyinit(),
 		Maporder(),
 		Nakedgo(),
 		Randsource(),
 		Tickerstop(),
+		Unlockpath(),
 	}
 	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
 	return as

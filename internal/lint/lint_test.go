@@ -551,12 +551,12 @@ func Dump(t *table.Table) {
 	}
 }
 
-// TestAllSortedAndNamed pins the registry: six analyzers, sorted,
+// TestAllSortedAndNamed pins the registry: eleven analyzers, sorted,
 // each documented.
 func TestAllSortedAndNamed(t *testing.T) {
 	as := All()
-	if len(as) != 6 {
-		t.Fatalf("got %d analyzers, want 6", len(as))
+	if len(as) != 11 {
+		t.Fatalf("got %d analyzers, want 11", len(as))
 	}
 	var names []string
 	for _, a := range as {
@@ -565,7 +565,7 @@ func TestAllSortedAndNamed(t *testing.T) {
 		}
 		names = append(names, a.Name)
 	}
-	want := "hotcompile,lazyinit,maporder,nakedgo,randsource,tickerstop"
+	want := "atomicmix,droppederr,envelopecheck,errsentinel,hotcompile,lazyinit,maporder,nakedgo,randsource,tickerstop,unlockpath"
 	if got := strings.Join(names, ","); got != want {
 		t.Fatalf("analyzers = %s, want %s", got, want)
 	}

@@ -304,13 +304,21 @@ var (
 // own package — the fixture harness for analyzer unit tests. Imports
 // are restricted to the standard library.
 func CheckSource(filename, src string) (*Package, error) {
+	return CheckSourceAt(filename, ".", src)
+}
+
+// CheckSourceAt is CheckSource with an explicit module-relative
+// directory, so tests can place a fixture inside the scope of a
+// directory-gated analyzer (droppederr's syntactic layer,
+// envelopecheck).
+func CheckSourceAt(filename, dir, src string) (*Package, error) {
 	checkSourceMu.Lock()
 	defer checkSourceMu.Unlock()
 	f, err := parser.ParseFile(checkSourceFset, filename, src, parser.ParseComments)
 	if err != nil {
 		return nil, err
 	}
-	pkg := newPackage(f.Name.Name, ".", checkSourceFset)
+	pkg := newPackage(f.Name.Name, dir, checkSourceFset)
 	pkg.Files = []*ast.File{f}
 	pkg.collectSuppressions(f)
 	typeCheck(checkSourceFset, checkSourceImp, pkg)

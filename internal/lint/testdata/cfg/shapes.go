@@ -1,0 +1,152 @@
+// Package cfgshapes is the committed fixture corpus for the CFG
+// builder tests: one function per control-flow shape the builder must
+// lower correctly. The golden file shapes.golden pins the DebugString
+// of every function's graph; regenerate it with
+//
+//	go test ./internal/lint -run TestCFGShapesGolden -update
+//
+// after a deliberate builder change, and review the diff like code.
+package cfgshapes
+
+import (
+	"errors"
+	"os"
+)
+
+func ifReturn(x int) int {
+	if x > 0 {
+		return x
+	}
+	return -x
+}
+
+func ifElseChain(x int) string {
+	var s string
+	if x > 10 {
+		s = "big"
+	} else if x > 0 {
+		s = "small"
+	} else {
+		s = "neg"
+	}
+	return s
+}
+
+func forLoop(n int) int {
+	sum := 0
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			continue
+		}
+		if i == 7 {
+			break
+		}
+		sum += i
+	}
+	return sum
+}
+
+func forever() {
+	for {
+	}
+}
+
+func rangeLoop(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+func switchKinds(x int) string {
+	switch x {
+	case 0:
+		return "zero"
+	case 1:
+		fallthrough
+	case 2:
+		return "small"
+	default:
+		return "big"
+	}
+}
+
+func switchNoDefault(x int) string {
+	out := ""
+	switch {
+	case x > 0:
+		out = "pos"
+	case x < 0:
+		out = "neg"
+	}
+	return out
+}
+
+func typeSwitch(v any) string {
+	switch v.(type) {
+	case int:
+		return "int"
+	case string:
+		return "string"
+	}
+	return "other"
+}
+
+func selectTwo(a, b chan int) int {
+	select {
+	case x := <-a:
+		return x
+	case y := <-b:
+		return y
+	}
+}
+
+func deferAndPanic(path string) *os.File {
+	f, err := os.Open(path)
+	if err != nil {
+		panic(err)
+	}
+	defer f.Close()
+	return f
+}
+
+func gotoRetry() error {
+	tries := 0
+retry:
+	tries++
+	if tries < 3 {
+		goto retry
+	}
+	if tries > 10 {
+		return errors.New("too many tries")
+	}
+	return nil
+}
+
+func labeledBreak(grid [][]int) int {
+	hits := 0
+outer:
+	for i := range grid {
+		for j := range grid[i] {
+			if grid[i][j] == 0 {
+				break outer
+			}
+			hits++
+			_ = j
+		}
+	}
+	return hits
+}
+
+func deadTail(x int) int {
+	return x
+	x++ // unreachable: starts a predecessor-less block
+	return x
+}
+
+func exits(code int) {
+	if code != 0 {
+		os.Exit(code)
+	}
+}

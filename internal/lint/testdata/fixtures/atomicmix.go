@@ -1,0 +1,24 @@
+// Fixture for the atomicmix analyzer: a field accessed through
+// sync/atomic anywhere in the package must be atomic everywhere.
+package fix
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	total int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.hits, 1) // ok: the atomic protocol itself
+	atomic.AddInt64(&c.total, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.hits // flagged: plain read races with the atomic adds
+}
+
+func (c *counter) reset() {
+	c.hits = 0 // flagged: plain write races with the atomic adds
+	_ = atomic.LoadInt64(&c.total)
+}

@@ -1,0 +1,70 @@
+// Fixture for the droppederr analyzer. The fixtures test places this
+// file in internal/geoloc, inside the syntactic layer's scope; the
+// flow-based dead-definition layer runs everywhere.
+package fix
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+type sink struct{}
+
+func (sink) Flush() error { return nil }
+
+func flushAll() error { return nil }
+
+func write(p []byte) (int, error) { return len(p), nil }
+
+func bareCall() {
+	flushAll() // flagged: bare call discards the error
+}
+
+func deferredDrop() {
+	var s sink
+	defer s.Flush() // flagged: deferred call discards the error
+}
+
+func blankDiscard() {
+	_ = flushAll() // flagged: explicit discard is still a discard
+}
+
+func tupleBlank() int {
+	n, _ := write([]byte("x")) // flagged: error position blanked
+	return n
+}
+
+func overwritten() error {
+	err := flushAll() // flagged by the flow layer: never consulted
+	err = flushAll()
+	return err
+}
+
+func readOnlyCloseOK(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // ok: closing a read-only handle cannot lose data
+	return nil
+}
+
+func cleanupBeforeReturnOK(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		f.Close() // ok: the write error is already being returned
+		return err
+	}
+	return f.Close()
+}
+
+func builderOK() string {
+	var b strings.Builder
+	b.WriteString("hi") // ok: strings.Builder cannot fail
+	fmt.Fprintf(&b, "%d", 1)
+	return b.String()
+}

@@ -1,0 +1,51 @@
+// Fixture for the errsentinel analyzer: sentinel errors must be
+// matched with errors.Is, never with ==/!= or Error() text.
+package fix
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+var ErrStale = errors.New("stale")
+
+func eqSentinel(err error) bool {
+	return err == ErrStale // flagged: wrapped errors never compare equal
+}
+
+func neSentinel(err error) bool {
+	if err != io.EOF { // flagged
+		return true
+	}
+	return false
+}
+
+func switchSentinel(err error) string {
+	switch err { // flagged: switch compares with ==
+	case ErrStale:
+		return "stale"
+	case nil:
+		return "ok"
+	}
+	return "other"
+}
+
+func errorText(err error) bool {
+	return err.Error() == "stale" // flagged: matching on message text
+}
+
+func errorContains(err error) bool {
+	return strings.Contains(err.Error(), "stale") // flagged
+}
+
+func nilChecksFine(err error) error {
+	if err != nil { // ok: nil comparison is the idiom
+		return fmt.Errorf("wrap: %w", err)
+	}
+	if errors.Is(err, ErrStale) { // ok: the sanctioned form
+		return nil
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+// Fixture for the hotcompile analyzer: regex compilation belongs at
+// package init, not inside loops.
+package fix
+
+import "regexp"
+
+func matchAll(lines []string) int {
+	n := 0
+	for _, l := range lines {
+		re := regexp.MustCompile(`^[a-z]+[0-9]+$`) // flagged: compiled per iteration
+		if re.MatchString(l) {
+			n++
+		}
+	}
+	return n
+}
+
+var linePat = regexp.MustCompile(`^[a-z]+$`) // ok: compiled once
+
+func matchOnce(l string) bool {
+	return linePat.MatchString(l)
+}

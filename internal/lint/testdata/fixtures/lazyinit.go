@@ -1,0 +1,26 @@
+// Fixture for the lazyinit analyzer: nil-check-then-assign caches on
+// shared state need a lock or sync.Once.
+package fix
+
+import "sync"
+
+type cache struct {
+	mu       sync.Mutex
+	compiled map[string]int
+}
+
+func (c *cache) getUnguarded(k string) int {
+	if c.compiled == nil {
+		c.compiled = make(map[string]int) // flagged: two goroutines both get here
+	}
+	return c.compiled[k]
+}
+
+func (c *cache) getGuarded(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.compiled == nil {
+		c.compiled = make(map[string]int) // ok: under the lock
+	}
+	return c.compiled[k]
+}

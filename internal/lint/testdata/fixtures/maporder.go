@@ -1,0 +1,31 @@
+// Fixture for the maporder analyzer: map iteration order is random,
+// so order-dependent effects need sorting.
+package fix
+
+import (
+	"fmt"
+	"sort"
+)
+
+func printAll(m map[string]int) {
+	for k, v := range m { // flagged: output in map order
+		fmt.Println(k, v)
+	}
+}
+
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // flagged: appended order leaks out
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func keysSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // ok: sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,25 @@
+// Fixture for the nakedgo analyzer: goroutines need a visible join or
+// cancellation in the spawning function.
+package fix
+
+import "sync"
+
+func fireAndForget(work []string) {
+	for range work {
+		go process() // flagged: nothing joins or cancels this
+	}
+}
+
+func process() {}
+
+func joined(work []string) {
+	var wg sync.WaitGroup
+	for range work {
+		wg.Add(1)
+		go func() { // ok: WaitGroup join
+			defer wg.Done()
+			process()
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,14 @@
+// Fixture for the randsource analyzer: the global math/rand source is
+// unseeded nondeterminism outside the sanctioned simulation packages.
+package fix
+
+import "math/rand"
+
+func jitter() float64 {
+	return rand.Float64() // flagged: global source
+}
+
+func seeded() float64 {
+	r := rand.New(rand.NewSource(42)) // ok: local seeded source
+	return r.Float64()
+}

@@ -1,0 +1,28 @@
+// Fixture for the tickerstop analyzer: tickers leak a goroutine
+// unless Stop is reachable.
+package fix
+
+import "time"
+
+func pollForever(stop chan struct{}) {
+	t := time.NewTicker(time.Second) // flagged: never stopped
+	for {
+		select {
+		case <-t.C:
+		case <-stop:
+			return
+		}
+	}
+}
+
+func pollStopped(stop chan struct{}) {
+	t := time.NewTicker(time.Second) // ok: defer t.Stop()
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Fixture for the unlockpath analyzer: every Lock must reach an
+// Unlock on every path to a normal return.
+package fix
+
+import "sync"
+
+type store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	data map[string]int
+}
+
+func (s *store) leakOnEarlyReturn(k string) int {
+	s.mu.Lock() // flagged: the found-return path skips Unlock
+	if v, ok := s.data[k]; ok {
+		return v
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+func (s *store) leakOnBranch() {
+	s.rw.RLock() // flagged: only the empty branch unlocks
+	if len(s.data) == 0 {
+		s.rw.RUnlock()
+	}
+}
+
+func (s *store) deferOK() int {
+	s.mu.Lock() // ok: defer covers every exit
+	defer s.mu.Unlock()
+	return len(s.data)
+}
+
+func (s *store) allPathsOK(k string) int {
+	s.mu.Lock() // ok: both paths unlock
+	if v, ok := s.data[k]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+func (s *store) panicPathOK() {
+	s.mu.Lock() // ok: a panic is not a normal return
+	if s.data == nil {
+		panic("nil store")
+	}
+	s.mu.Unlock()
+}
