@@ -1,11 +1,23 @@
 package hoiho_bench
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
+
+	"hoiho/internal/dnswire"
 )
 
 // TestCLIWorkflow exercises the complete command-line workflow end to
@@ -115,6 +127,204 @@ func TestCLIWorkflow(t *testing.T) {
 	if !strings.Contains(out, "Nashua") {
 		t.Errorf("geodict -iata ash: %s", out)
 	}
+
+	// 8. Serve the snapshot over DNS and HTTP and compare the fronts:
+	// the TXT answer (UDP and TCP byte-identical) must agree with the
+	// /v1/geolocate JSON for the same hostname.
+	if host != "" {
+		geodns := build("geodns")
+		geoserve := build("geoserve")
+		dnsAddr, stopDNS := startDaemon(t, geodns, "-snapshot", snapFile, "-addr", "127.0.0.1:0")
+		defer stopDNS()
+		httpAddr, stopHTTP := startDaemon(t, geoserve, "-snapshot", snapFile, "-addr", "127.0.0.1:0")
+		defer stopHTTP()
+
+		pkt := packQuery(t, host+".", dnswire.TypeTXT)
+		udpResp := dnsExchangeUDP(t, dnsAddr, pkt)
+		tcpResp := dnsExchangeTCP(t, dnsAddr, pkt)
+		if !bytes.Equal(udpResp, tcpResp) {
+			t.Errorf("UDP and TCP answers differ:\n udp %x\n tcp %x", udpResp, tcpResp)
+		}
+		r, err := dnswire.Unpack(udpResp)
+		if err != nil {
+			t.Fatalf("geodns answer does not decode: %v", err)
+		}
+		if r.RCode != dnswire.RCodeNoError || len(r.Answers) != 1 {
+			t.Fatalf("geodns answer for %s: rcode %v, %d answers", host, r.RCode, len(r.Answers))
+		}
+		txt, ok := r.Answers[0].Data.(dnswire.TXT)
+		if !ok {
+			t.Fatalf("geodns answer is %T, want TXT", r.Answers[0].Data)
+		}
+
+		// An unknown hostname is NXDOMAIN, authoritatively.
+		miss, err := dnswire.Unpack(dnsExchangeUDP(t, dnsAddr,
+			packQuery(t, "no.such.host.example.", dnswire.TypeTXT)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if miss.RCode != dnswire.RCodeNXDomain || !miss.Authoritative {
+			t.Errorf("miss rcode = %v authoritative = %v", miss.RCode, miss.Authoritative)
+		}
+
+		// HTTP equivalence: the same snapshot behind /v1/geolocate.
+		resp, err := http.Post("http://"+httpAddr+"/v1/geolocate", "application/json",
+			strings.NewReader(fmt.Sprintf("{%q:%q}", "hostname", host)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var httpRes struct {
+			Located  bool `json:"located"`
+			Location *struct {
+				City    string  `json:"city"`
+				Country string  `json:"country"`
+				Lat     float64 `json:"lat"`
+				Long    float64 `json:"long"`
+			} `json:"location"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&httpRes); err != nil {
+			t.Fatal(err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			t.Error(err)
+		}
+		if !httpRes.Located || httpRes.Location == nil {
+			t.Fatalf("geoserve does not locate %s but geodns does", host)
+		}
+		kv := map[string]string{}
+		for _, s := range txt {
+			if k, v, ok := strings.Cut(s, "="); ok {
+				kv[k] = v
+			}
+		}
+		if kv["city"] != httpRes.Location.City || kv["country"] != httpRes.Location.Country {
+			t.Errorf("fronts disagree: DNS %v vs HTTP %+v", kv, httpRes.Location)
+		}
+		if kv["lat"] != fmt.Sprintf("%g", httpRes.Location.Lat) ||
+			kv["long"] != fmt.Sprintf("%g", httpRes.Location.Long) {
+			t.Errorf("coordinates disagree: DNS %v vs HTTP %+v", kv, httpRes.Location)
+		}
+	}
+}
+
+// startDaemon launches a server binary, waits for its "listening on"
+// line, and returns the bound address plus a stop function that
+// SIGTERMs the process and waits for a clean exit.
+func startDaemon(t *testing.T, path string, args ...string) (string, func()) {
+	t.Helper()
+	cmd := exec.Command(path, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				addr := line[i+len("listening on "):]
+				if j := strings.IndexByte(addr, ' '); j >= 0 {
+					addr = addr[:j]
+				}
+				select {
+				case addrCh <- addr:
+				default:
+				}
+			}
+		}
+	}()
+	stop := func() {
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			return // already stopped
+		}
+		<-drained
+		if err := cmd.Wait(); err != nil {
+			t.Errorf("%s did not shut down cleanly: %v", filepath.Base(path), err)
+		}
+	}
+	select {
+	case addr := <-addrCh:
+		return addr, stop
+	case <-time.After(30 * time.Second):
+		stop()
+		t.Fatalf("%s never reported its listen address", filepath.Base(path))
+		return "", nil
+	}
+}
+
+func packQuery(t *testing.T, name string, typ dnswire.Type) []byte {
+	t.Helper()
+	m := &dnswire.Message{
+		ID:               0x7357,
+		RecursionDesired: true,
+		Questions:        []dnswire.Question{{Name: name, Type: typ, Class: dnswire.ClassINET}},
+		EDNS:             &dnswire.EDNS{UDPSize: 1232},
+	}
+	pkt, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkt
+}
+
+func dnsExchangeUDP(t *testing.T, addr string, pkt []byte) []byte {
+	t.Helper()
+	c, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := c.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if err := c.SetDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(pkt); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 65536)
+	n, err := c.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf[:n]
+}
+
+func dnsExchangeTCP(t *testing.T, addr string, pkt []byte) []byte {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := c.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if err := c.SetDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	var lenbuf [2]byte
+	binary.BigEndian.PutUint16(lenbuf[:], uint16(len(pkt)))
+	if _, err := c.Write(append(lenbuf[:], pkt...)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c, lenbuf[:]); err != nil {
+		t.Fatal(err)
+	}
+	resp := make([]byte, binary.BigEndian.Uint16(lenbuf[:]))
+	if _, err := io.ReadFull(c, resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
 }
 
 // pickGeolocatable scans the names file for a hostname under a suffix

@@ -22,20 +22,26 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/netip"
 	"os"
 	"os/exec"
 	"regexp"
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"hoiho/internal/benchrec"
 	"hoiho/internal/core"
+	"hoiho/internal/dnsserve"
+	"hoiho/internal/dnswire"
 	"hoiho/internal/geoloc"
 	"hoiho/internal/lint"
 	"hoiho/internal/obs"
@@ -181,6 +187,50 @@ type suite struct {
 	res   *core.Result
 	hosts []string
 	defs  []benchDef
+
+	// Lazily built, shared by the GeoDNS benchmarks: the handler is
+	// stateless (no limiter, no tracer), so repeats reuse it.
+	dnsOnce sync.Once
+	dnsSrv  *dnsserve.Server
+	dnsPkt  []byte
+	dnsErr  error
+}
+
+// dnsSetup builds (once) a dnsserve handler over the suite's learned
+// conventions plus a packed TXT query for a hostname the index
+// locates, preferring a located name so the benchmark measures the
+// answer path, not NXDOMAIN.
+func dnsSetup(s *suite) (*dnsserve.Server, []byte, error) {
+	s.dnsOnce.Do(func() {
+		ix, err := geoloc.New(s.res, geoloc.Options{Dict: s.in.Dict, PSL: s.in.PSL, CacheSize: -1})
+		if err != nil {
+			s.dnsErr = err
+			return
+		}
+		host := s.hosts[0]
+		for _, h := range s.hosts {
+			if _, ok := ix.Lookup(h); ok {
+				host = h
+				break
+			}
+		}
+		m := &dnswire.Message{
+			ID:               1,
+			RecursionDesired: true,
+			Questions: []dnswire.Question{{
+				Name: host + ".", Type: dnswire.TypeTXT, Class: dnswire.ClassINET,
+			}},
+			EDNS: &dnswire.EDNS{UDPSize: 1232},
+		}
+		pkt, err := m.Pack()
+		if err != nil {
+			s.dnsErr = err
+			return
+		}
+		s.dnsSrv = dnsserve.New(ix, dnsserve.Config{})
+		s.dnsPkt = pkt
+	})
+	return s.dnsSrv, s.dnsPkt, s.dnsErr
 }
 
 type benchDef struct {
@@ -199,6 +249,8 @@ func suiteNames() []string {
 		"GoldenEndToEnd       LoadInputs + core.Run + WriteConventions",
 		"SnapshotLoad         geoloc.Load of an in-memory snapshot (decode + compile)",
 		"ReloadSwap           SpotCheck + atomic Live swap between two prebuilt indexes",
+		"GeoDNSQuery          one TXT query through the dnsserve handler, no socket",
+		"GeoDNSServeUDP       sustained loopback UDP query/response round trips (p99_us)",
 		"LintModule           lint.LoadModule + all analyzers self-hosted over this repo",
 	}
 }
@@ -356,6 +408,73 @@ func newSuite(src *geoloc.Source) (*suite, error) {
 					b.Fatal(err)
 				}
 				live.Swap(next)
+			}
+		}},
+		{"GeoDNSQuery", func(b *testing.B) {
+			// The socketless DNS serving path: decode, rate-limit check,
+			// index lookup, answer build, encode — geodns's per-packet
+			// work with the kernel taken out of the measurement.
+			srv, pkt, err := dnsSetup(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := netip.MustParseAddr("127.0.0.1")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if resp := srv.HandlePacket(pkt, src, false); resp == nil {
+					b.Fatal("no response")
+				}
+			}
+		}},
+		{"GeoDNSServeUDP", func(b *testing.B) {
+			// The full transport: a loopback UDP client driving the real
+			// serve loop, one query in flight at a time. p99_us reports
+			// the tail of the per-round-trip latencies.
+			srv, pkt, err := dnsSetup(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, 1)
+			go func() { done <- srv.ServeUDP(ctx, conn) }()
+			client, err := net.Dial("udp", conn.LocalAddr().String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]byte, 65536)
+			lat := make([]time.Duration, 0, b.N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				if err := client.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := client.Write(pkt); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := client.Read(buf); err != nil {
+					b.Fatal(err)
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			b.StopTimer()
+			cancel()
+			<-done
+			if err := client.Close(); err != nil {
+				b.Fatal(err)
+			}
+			if err := conn.Close(); err != nil {
+				b.Fatal(err)
+			}
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			if len(lat) > 0 {
+				p99 := lat[len(lat)*99/100]
+				b.ReportMetric(float64(p99)/1e3, "p99_us")
 			}
 		}},
 		{"LintModule", func(b *testing.B) {

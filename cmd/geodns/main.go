@@ -1,0 +1,189 @@
+// Command geodns serves learned naming conventions over DNS — the
+// lookup-side counterpart to geoserve's HTTP API, for tooling that
+// already speaks the resolver protocol (dig, monitoring probes, batch
+// PTR pipelines). Conventions come from any Source — a compiled-index
+// snapshot (-snapshot), a published conventions file (-nc), or a
+// corpus to learn from (-corpus) — compiled once into an immutable
+// geoloc.Index served behind an atomic pointer, exactly like geoserve.
+//
+// Usage:
+//
+//	geodns -snapshot index.snap [-addr 127.0.0.1:5353]
+//	geodns -nc conventions.txt [-ttl 300] [-rate 100 -burst 200]
+//
+// The daemon answers queries whose QNAME is a router hostname:
+//
+//	TXT  key=value geolocation detail (city, region, country, lat,
+//	     long, suffix, hint, type, learned) — the /v1 JSON fields
+//	PTR  a synthetic <city>.<region>.<country>.geo.invalid. target
+//	LOC  RFC 1876 coordinates, when the location resolves to a point
+//	ANY  all of the above
+//
+// A hostname no convention locates is NXDOMAIN; a located hostname
+// asked an unserved type is an empty authoritative NOERROR. Malformed
+// frames get FORMERR, non-query opcodes and non-IN classes NOTIMP,
+// EDNS versions above 0 BADVERS, and sources past the -rate budget a
+// header-only REFUSED — the same taxonomy the HTTP front end spells
+// as its /v1 error envelope. UDP and TCP are served on the same
+// address; UDP responses honor the EDNS-negotiated payload size
+// (never below 512 bytes) and drop tail records with TC set when the
+// answer cannot fit, at which point resolvers retry over TCP.
+//
+// SIGHUP triggers the same validated zero-downtime reload as
+// geoserve: re-resolve the boot source, spot-check the replacement
+// index, swap the pointer. SIGINT/SIGTERM drain open TCP connections
+// and exit cleanly, logging the lifetime query counters.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+
+	"hoiho/internal/dnsserve"
+	"hoiho/internal/geoloc"
+	"hoiho/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5353", "listen address (UDP and TCP)")
+	src := &geoloc.Source{}
+	src.RegisterFlags(flag.CommandLine)
+	ttl := flag.Uint("ttl", 300, "TTL stamped on answer records (seconds)")
+	udpSize := flag.Uint("udp-size", 1232, "largest UDP payload to send (EDNS)")
+	rate := flag.Float64("rate", 0, "per-source queries per second (0 disables rate limiting)")
+	burst := flag.Float64("burst", 0, "per-source burst headroom (defaults to 2x rate)")
+	cacheSize := flag.Int("cache", geoloc.DefaultCacheSize,
+		"LRU result-cache entries (negative disables)")
+	usableOnly := flag.Bool("usable-only", false, "serve only good/promising conventions")
+	flag.Parse()
+	if _, err := src.Kind(); err != nil {
+		fmt.Fprintln(os.Stderr, "geodns:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *burst == 0 {
+		*burst = 2 * *rate
+	}
+
+	tracer := obs.New(obs.Options{})
+	opts := geoloc.Options{UsableOnly: *usableOnly, CacheSize: *cacheSize, Tracer: tracer}
+	resolved, err := src.Resolve(opts)
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("geodns: serving %d conventions from %s", resolved.Index.Len(), src.Describe())
+
+	s := dnsserve.New(resolved.Index, dnsserve.Config{
+		TTL:       uint32(*ttl),
+		UDPSize:   uint16(*udpSize),
+		Rate:      *rate,
+		Burst:     *burst,
+		Tracer:    tracer,
+		Source:    src,
+		IndexOpts: opts,
+	})
+
+	// TCP binds first so a ":0" request resolves to one concrete port
+	// shared by both transports — the single address the log line
+	// advertises must answer either way.
+	ln, err := net.ListenTCP("tcp", mustTCPAddr(*addr))
+	if err != nil {
+		fatal(err)
+	}
+	tcpAddr, ok := ln.Addr().(*net.TCPAddr)
+	if !ok {
+		fatal(fmt.Errorf("unexpected listener address %T", ln.Addr()))
+	}
+	uconn, err := net.ListenUDP("udp", &net.UDPAddr{IP: tcpAddr.IP, Port: tcpAddr.Port, Zone: tcpAddr.Zone})
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("geodns: listening on %s (udp+tcp)", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// SIGHUP reloads like geoserve's /v1/admin/reload; the loop joins
+	// main before exit so a reload in flight at shutdown finishes.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	hupDone := make(chan struct{})
+	go func() {
+		defer close(hupDone)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-hup:
+				if gen, suffixes, err := s.Reload(); err != nil {
+					log.Printf("geodns: SIGHUP reload failed, still serving generation %d: %v",
+						s.Generation(), err)
+				} else {
+					log.Printf("geodns: SIGHUP reload: generation %d, %d suffixes", gen, suffixes)
+				}
+			}
+		}
+	}()
+
+	// Both serve loops poll their deadlines and return once ctx is
+	// canceled (ServeTCP drains open connections first). Either loop
+	// failing on its own cancels the other.
+	errc := make(chan error, 2)
+	go func() { errc <- s.ServeUDP(ctx, uconn) }()
+	go func() { errc <- s.ServeTCP(ctx, ln) }()
+	err = <-errc
+	stop()
+	if err2 := <-errc; err == nil {
+		err = err2
+	}
+	<-hupDone
+	if cerr := uconn.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if cerr := ln.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("geodns: shut down cleanly (%s)", statsLine(s.Stats()))
+}
+
+// statsLine renders the lifetime counters sorted by key, so shutdown
+// logs are diffable across runs.
+func statsLine(stats map[string]int64) string {
+	if len(stats) == 0 {
+		return "no queries"
+	}
+	keys := make([]string, 0, len(stats))
+	for k := range stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, stats[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+func mustTCPAddr(addr string) *net.TCPAddr {
+	a, err := net.ResolveTCPAddr("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	return a
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "geodns:", err)
+	os.Exit(1)
+}

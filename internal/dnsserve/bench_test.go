@@ -1,0 +1,26 @@
+package dnsserve
+
+import (
+	"testing"
+
+	"hoiho/internal/dnswire"
+)
+
+// BenchmarkGeoDNSQuery measures the socketless serving path: one
+// pre-packed TXT query through HandlePacket — decode, rate-limit
+// check, index lookup, answer build, encode. This is the CI bench
+// smoke target for the DNS front end.
+func BenchmarkGeoDNSQuery(b *testing.B) {
+	s := New(testIndex(b), Config{})
+	pkt, err := q(locatedName, dnswire.TypeTXT).Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if resp := s.HandlePacket(pkt, testSrc, false); resp == nil {
+			b.Fatal("no response")
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Package dnsserve is the DNS-native serving layer under cmd/geodns:
+// a query handler over a live geoloc index plus the UDP and TCP loops
+// that carry it. It lives outside the command so tests and geobench
+// can drive the handler without sockets.
+package dnsserve
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// limiterCap bounds the bucket map. A source address only gets state
+// while it is actively querying; when the map fills, the next miss
+// sweeps out every bucket that has fully refilled (an idle source is
+// indistinguishable from an unseen one). The cap is generous: 64k
+// entries is ~4MB, and a flood from more sources than that degrades to
+// per-sweep work, not unbounded memory.
+const limiterCap = 65536
+
+// limiter is a per-source-IP token bucket. Each source spends one
+// token per query and accrues rate tokens per second up to burst. A
+// nil *limiter allows everything (rate limiting disabled), and an
+// invalid source address is allowed too — the limiter fails open,
+// because dropping legitimate queries is worse than metering an
+// unattributable one.
+type limiter struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity, also the initial balance
+
+	now func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	buckets map[netip.Addr]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newLimiter builds a limiter; rate <= 0 returns nil (disabled).
+func newLimiter(rate, burst float64) *limiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &limiter{
+		rate:    rate,
+		burst:   burst,
+		now:     time.Now,
+		buckets: make(map[netip.Addr]*bucket),
+	}
+}
+
+// allow reports whether src may send one more query, spending a token
+// when it may.
+func (l *limiter) allow(src netip.Addr) bool {
+	if l == nil || !src.IsValid() {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[src]
+	if b == nil {
+		if len(l.buckets) >= limiterCap {
+			l.sweep(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[src] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// sweep drops every bucket that would be full if refilled at now —
+// sources idle long enough to be fresh again. Called with mu held.
+func (l *limiter) sweep(now time.Time) {
+	for src, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, src)
+		}
+	}
+}

@@ -1,0 +1,353 @@
+package dnsserve
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"hoiho/internal/dnswire"
+	"hoiho/internal/geoloc"
+	"hoiho/internal/obs"
+)
+
+// Wire limits and loop timings. The read deadlines exist so the serve
+// loops notice context cancellation; they are polls, not per-client
+// timeouts.
+const (
+	minUDPSize       = 512  // RFC 1035 floor; never negotiate below
+	defaultUDPSize   = 1232 // fits any unfragmented path, EDNS default
+	pollInterval     = 250 * time.Millisecond
+	tcpIdleTimeout   = 10 * time.Second // per-read deadline on an open TCP conn
+	spotCheckSamples = 16
+)
+
+// queryStage is the tracer stage every handled packet records under;
+// Stats reads its counters back.
+const queryStage = "dnsquery"
+
+// Config tunes a Server. The zero value serves with defaults: TTL 300,
+// UDP payload 1232, rate limiting off.
+type Config struct {
+	// TTL is the time-to-live stamped on every answer record.
+	TTL uint32
+	// UDPSize is the largest UDP payload the server is willing to
+	// send; the effective limit per query also honors what the client
+	// advertised (never below the 512-byte RFC 1035 floor).
+	UDPSize uint16
+	// Rate and Burst meter queries per source address: Rate tokens per
+	// second with Burst headroom. Rate 0 disables limiting.
+	Rate  float64
+	Burst float64
+	// Tracer records per-query spans and counters; nil is inert.
+	Tracer *obs.Tracer
+	// Source and IndexOpts feed Reload; a nil Source makes Reload an
+	// error, matching a daemon started without a reloadable input.
+	Source    *geoloc.Source
+	IndexOpts geoloc.Options
+}
+
+var errNoReloadSource = errors.New("dnsserve: no source configured for reload")
+
+// Server answers DNS queries about router hostnames from a live geoloc
+// index. One Server may serve UDP and TCP concurrently; every packet
+// is handled against a single index generation even while Reload swaps
+// a new one in.
+type Server struct {
+	cfg     Config
+	live    *geoloc.Live
+	limiter *limiter
+	tracer  *obs.Tracer
+
+	reloadMu sync.Mutex
+}
+
+// New builds a Server over the given index.
+func New(ix *geoloc.Index, cfg Config) *Server {
+	if cfg.TTL == 0 {
+		cfg.TTL = 300
+	}
+	if cfg.UDPSize == 0 {
+		cfg.UDPSize = defaultUDPSize
+	}
+	if cfg.UDPSize < minUDPSize {
+		cfg.UDPSize = minUDPSize
+	}
+	return &Server{
+		cfg:     cfg,
+		live:    geoloc.NewLive(ix),
+		limiter: newLimiter(cfg.Rate, cfg.Burst),
+		tracer:  cfg.Tracer,
+	}
+}
+
+// Generation exposes the live index generation (for status lines).
+func (s *Server) Generation() uint64 { return s.live.Generation() }
+
+// Stats snapshots the per-query counters accumulated so far.
+func (s *Server) Stats() map[string]int64 { return s.tracer.StageCounters(queryStage) }
+
+// Reload resolves the configured source again, spot-checks the new
+// index against the live one, and swaps it in. Mirrors the geoserve
+// /v1/reload lifecycle: concurrent reloads serialize, in-flight
+// queries keep the generation they started with.
+func (s *Server) Reload() (gen uint64, suffixes int, err error) {
+	if s.cfg.Source == nil {
+		return 0, 0, errNoReloadSource
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	sp := s.tracer.Start("reload")
+	defer sp.End()
+	resolved, err := s.cfg.Source.Resolve(s.cfg.IndexOpts)
+	if err != nil {
+		sp.Count("failures", 1)
+		return 0, 0, err
+	}
+	if err := geoloc.SpotCheck(s.live.Index(), resolved.Index, spotCheckSamples); err != nil {
+		sp.Count("failures", 1)
+		return 0, 0, err
+	}
+	_, gen = s.live.Swap(resolved.Index)
+	sp.Count("suffixes", int64(resolved.Index.Len()))
+	return gen, resolved.Index.Len(), nil
+}
+
+// HandlePacket answers one DNS message and returns the response frame,
+// or nil when the input merits no reply (a frame too short to echo, or
+// an inbound response message). src meters the rate limit; tcp lifts
+// the UDP size limit. It never panics: a handler bug maps to SERVFAIL,
+// mirroring the HTTP front end's 500 envelope.
+func (s *Server) HandlePacket(pkt []byte, src netip.Addr, tcp bool) (out []byte) {
+	sp := s.tracer.Start(queryStage)
+	defer sp.End()
+	sp.Count("queries", 1)
+	defer func() {
+		if recover() != nil {
+			sp.Count("servfail", 1)
+			out = rawReply(pkt, dnswire.RCodeServFail)
+		}
+	}()
+
+	// Rate limiting happens before parsing: shedding load must not
+	// cost a message decode per flooded packet.
+	if !s.limiter.allow(src) {
+		sp.Count("refused", 1)
+		return rawReply(pkt, dnswire.RCodeRefused)
+	}
+
+	q, err := dnswire.Unpack(pkt)
+	if err != nil {
+		sp.Count("formerr", 1)
+		return rawReply(pkt, dnswire.RCodeFormErr)
+	}
+	if q.Response {
+		sp.Count("dropped", 1)
+		return nil // a response sent at a server is noise, not a query
+	}
+
+	r := dnswire.Reply(q)
+	r.Authoritative = true
+	if q.EDNS != nil {
+		r.EDNS = &dnswire.EDNS{UDPSize: s.cfg.UDPSize}
+	}
+
+	switch {
+	case q.Opcode != dnswire.OpcodeQuery:
+		sp.Count("notimp", 1)
+		r.RCode = dnswire.RCodeNotImp
+	case q.EDNS != nil && q.EDNS.Version > 0:
+		sp.Count("badvers", 1)
+		r.RCode = dnswire.RCodeBadVers
+	case len(q.Questions) != 1:
+		sp.Count("formerr", 1)
+		r.RCode = dnswire.RCodeFormErr
+	case q.Questions[0].Class != dnswire.ClassINET && q.Questions[0].Class != dnswire.ClassANY:
+		sp.Count("notimp", 1)
+		r.RCode = dnswire.RCodeNotImp
+	default:
+		s.answer(r, q.Questions[0], sp)
+	}
+
+	limit := dnswire.MaxMessageLen
+	if !tcp {
+		limit = s.udpLimit(q)
+	}
+	out, err = r.PackTruncated(limit)
+	if err != nil {
+		// The question alone does not fit the negotiated size; answer
+		// with a header-only SERVFAIL rather than silence.
+		sp.Count("servfail", 1)
+		return rawReply(pkt, dnswire.RCodeServFail)
+	}
+	return out
+}
+
+// udpLimit negotiates the response size: the smaller of what the
+// client advertised and what the server allows, never below 512.
+func (s *Server) udpLimit(q *dnswire.Message) int {
+	limit := int(s.cfg.UDPSize)
+	if q.EDNS != nil && int(q.EDNS.UDPSize) < limit {
+		limit = int(q.EDNS.UDPSize)
+	}
+	if limit < minUDPSize {
+		limit = minUDPSize
+	}
+	return limit
+}
+
+// answer resolves one question against the live index and fills the
+// response: TXT carries the key=value geolocation detail, PTR a
+// location-encoding target name, LOC the coordinates, ANY all of
+// them. A located name asked an unsupported type gets an empty
+// authoritative NOERROR (NODATA); an unlocated name gets NXDOMAIN.
+func (s *Server) answer(r *dnswire.Message, question dnswire.Question, sp *obs.Span) {
+	sp.SetKey(question.Type.String())
+	g, ok := s.live.Index().Lookup(question.Name)
+	if !ok || g.Loc == nil {
+		sp.Count("nxdomain", 1)
+		r.RCode = dnswire.RCodeNXDomain
+		return
+	}
+	wantAll := question.Type == dnswire.TypeANY
+	add := func(data dnswire.RData) {
+		r.Answers = append(r.Answers, dnswire.RR{
+			Name:  question.Name,
+			Class: dnswire.ClassINET,
+			TTL:   s.cfg.TTL,
+			Data:  data,
+		})
+	}
+	if wantAll || question.Type == dnswire.TypeTXT {
+		add(dnswire.TXT(geoloc.AnswerStrings(g)))
+	}
+	if wantAll || question.Type == dnswire.TypePTR {
+		add(dnswire.PTR(geoloc.PTRTarget(g)))
+	}
+	if (wantAll || question.Type == dnswire.TypeLOC) && g.Loc.Pos.Valid() {
+		add(dnswire.NewLOC(g.Loc.Pos.Lat, g.Loc.Pos.Long))
+	}
+	if len(r.Answers) == 0 {
+		sp.Count("nodata", 1) // located name, unsupported type
+		return
+	}
+	sp.Count("noerror", 1)
+}
+
+// rawReply builds a header-only response from the raw bytes of a
+// request that may not parse: ID echoed, QR set, opcode and RD bits
+// carried over, all counts zero. Frames too short to even echo an ID
+// get no reply at all.
+func rawReply(pkt []byte, rcode dnswire.RCode) []byte {
+	if len(pkt) < 4 {
+		return nil
+	}
+	h := make([]byte, 12)
+	h[0], h[1] = pkt[0], pkt[1]
+	h[2] = 0x80 | pkt[2]&0x79 // QR | opcode | RD
+	h[3] = byte(rcode & 0xF)
+	return h
+}
+
+// ServeUDP answers queries on conn until ctx is canceled. Packets are
+// handled inline — a lookup is microseconds, so per-packet goroutines
+// would cost more than they buy.
+func (s *Server) ServeUDP(ctx context.Context, conn *net.UDPConn) error {
+	buf := make([]byte, 65536)
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(pollInterval)); err != nil {
+			return err
+		}
+		n, addr, err := conn.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		if resp := s.HandlePacket(buf[:n], addr.Addr(), false); resp != nil {
+			if _, err := conn.WriteToUDPAddrPort(resp, addr); err != nil && ctx.Err() != nil {
+				return nil
+			}
+		}
+	}
+}
+
+// ServeTCP answers queries on ln until ctx is canceled, then waits for
+// every open connection to drain before returning.
+func (s *Server) ServeTCP(ctx context.Context, ln *net.TCPListener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		if err := ln.SetDeadline(time.Now().Add(pollInterval)); err != nil {
+			return err
+		}
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.serveConn(ctx, conn)
+		}()
+	}
+}
+
+// serveConn handles one TCP connection: two-byte length-prefixed
+// frames (RFC 1035 §4.2.2) until the peer closes, errs, idles past
+// the deadline, or the server drains.
+func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
+	defer func() {
+		// A failed close on a drained conn is not actionable, but it is
+		// countable: surface it in the query-stage counters.
+		if err := conn.Close(); err != nil {
+			sp := s.tracer.Start(queryStage)
+			sp.Count("close_errors", 1)
+			sp.End()
+		}
+	}()
+	src := netip.Addr{}
+	if ap, err := netip.ParseAddrPort(conn.RemoteAddr().String()); err == nil {
+		src = ap.Addr()
+	}
+	var lenbuf [2]byte
+	for ctx.Err() == nil {
+		if err := conn.SetReadDeadline(time.Now().Add(tcpIdleTimeout)); err != nil {
+			return
+		}
+		if _, err := io.ReadFull(conn, lenbuf[:]); err != nil {
+			return
+		}
+		frame := make([]byte, binary.BigEndian.Uint16(lenbuf[:]))
+		if _, err := io.ReadFull(conn, frame); err != nil {
+			return
+		}
+		resp := s.HandlePacket(frame, src, true)
+		if resp == nil {
+			continue
+		}
+		binary.BigEndian.PutUint16(lenbuf[:], uint16(len(resp)))
+		if _, err := conn.Write(lenbuf[:]); err != nil {
+			return
+		}
+		if _, err := conn.Write(resp); err != nil {
+			return
+		}
+	}
+}

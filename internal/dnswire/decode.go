@@ -1,0 +1,183 @@
+package dnswire
+
+// Unpack decodes a complete DNS message. It never panics, whatever the
+// input: every length is bounds-checked against the frame, compression
+// pointers are loop-safe (see unpackName), RDATA must exactly fit its
+// declared RDLENGTH, and bytes after the last counted record are an
+// error. An OPT record in the additional section is lifted into
+// Message.EDNS (its extended-rcode bits merged into Message.RCode);
+// OPT anywhere else, a second OPT, or an OPT with a non-root owner is
+// ErrBadOPT.
+func Unpack(p []byte) (*Message, error) {
+	if len(p) < headerLen {
+		return nil, ErrShortMessage
+	}
+	flags := be16(p[2:])
+	m := &Message{
+		ID:                 be16(p[0:]),
+		Response:           flags&0x8000 != 0,
+		Opcode:             Opcode(flags >> 11 & 0xF),
+		Authoritative:      flags&0x0400 != 0,
+		Truncated:          flags&0x0200 != 0,
+		RecursionDesired:   flags&0x0100 != 0,
+		RecursionAvailable: flags&0x0080 != 0,
+		Zero:               flags&0x0040 != 0,
+		AuthenticData:      flags&0x0020 != 0,
+		CheckingDisabled:   flags&0x0010 != 0,
+		RCode:              RCode(flags & 0xF),
+	}
+	qd, an, ns, ar := int(be16(p[4:])), int(be16(p[6:])), int(be16(p[8:])), int(be16(p[10:]))
+
+	off := headerLen
+	var err error
+	for i := 0; i < qd; i++ {
+		var q Question
+		q.Name, off, err = unpackName(p, off)
+		if err != nil {
+			return nil, err
+		}
+		if off+4 > len(p) {
+			return nil, ErrShortMessage
+		}
+		q.Type, q.Class = Type(be16(p[off:])), Class(be16(p[off+2:]))
+		off += 4
+		m.Questions = append(m.Questions, q)
+	}
+	if m.Answers, off, err = unpackSection(p, off, an); err != nil {
+		return nil, err
+	}
+	if m.Authority, off, err = unpackSection(p, off, ns); err != nil {
+		return nil, err
+	}
+	for i := 0; i < ar; i++ {
+		rr, end, err := unpackRR(p, off)
+		if err != nil {
+			return nil, err
+		}
+		if opt, ok := rr.Data.(optData); ok {
+			if m.EDNS != nil || rr.Name != "." {
+				return nil, ErrBadOPT
+			}
+			// The OPT header fields are repurposed (RFC 6891): CLASS is
+			// the UDP payload size, TTL packs ext-rcode/version/flags.
+			m.EDNS = &EDNS{
+				UDPSize: uint16(rr.Class),
+				Version: uint8(rr.TTL >> 16),
+				DO:      rr.TTL&0x8000 != 0,
+				Z:       uint16(rr.TTL & 0x7FFF),
+				Options: opt.opts,
+			}
+			m.RCode |= RCode(rr.TTL>>24) << 4
+		} else {
+			m.Additional = append(m.Additional, rr)
+		}
+		off = end
+	}
+	if off != len(p) {
+		return nil, ErrTrailingGarbage
+	}
+	return m, nil
+}
+
+// unpackSection decodes count records of the answer or authority
+// section, where OPT pseudo-records may not appear.
+func unpackSection(p []byte, off, count int) ([]RR, int, error) {
+	var rrs []RR
+	for i := 0; i < count; i++ {
+		rr, end, err := unpackRR(p, off)
+		if err != nil {
+			return nil, 0, err
+		}
+		if _, ok := rr.Data.(optData); ok {
+			return nil, 0, ErrBadOPT
+		}
+		rrs = append(rrs, rr)
+		off = end
+	}
+	return rrs, off, nil
+}
+
+// unpackRR decodes one resource record, returning the offset just past
+// its RDATA. The RDATA of known types must match the type's shape and
+// consume RDLENGTH exactly; unknown types are preserved as Raw bytes.
+func unpackRR(p []byte, off int) (RR, int, error) {
+	name, off, err := unpackName(p, off)
+	if err != nil {
+		return RR{}, 0, err
+	}
+	if off+10 > len(p) {
+		return RR{}, 0, ErrShortMessage
+	}
+	typ := Type(be16(p[off:]))
+	rr := RR{Name: name, Class: Class(be16(p[off+2:])), TTL: be32(p[off+4:])}
+	rdlen := int(be16(p[off+8:]))
+	off += 10
+	end := off + rdlen
+	if end > len(p) {
+		return RR{}, 0, ErrShortMessage
+	}
+	switch typ {
+	case TypeA:
+		if rdlen != 4 {
+			return RR{}, 0, ErrBadRData
+		}
+		var a A
+		copy(a[:], p[off:end])
+		rr.Data = a
+	case TypePTR:
+		target, n, err := unpackName(p, off)
+		if err != nil {
+			return RR{}, 0, err
+		}
+		if n != end {
+			return RR{}, 0, ErrBadRData
+		}
+		rr.Data = PTR(target)
+	case TypeTXT:
+		var txt TXT
+		for pos := off; pos < end; {
+			n := int(p[pos])
+			pos++
+			if pos+n > end {
+				return RR{}, 0, ErrBadRData
+			}
+			txt = append(txt, string(p[pos:pos+n]))
+			pos += n
+		}
+		rr.Data = txt
+	case TypeLOC:
+		if rdlen != 16 {
+			return RR{}, 0, ErrBadRData
+		}
+		rr.Data = LOC{
+			Version: p[off], Size: p[off+1], HorizPre: p[off+2], VertPre: p[off+3],
+			Latitude:  be32(p[off+4:]),
+			Longitude: be32(p[off+8:]),
+			Altitude:  be32(p[off+12:]),
+		}
+	case TypeOPT:
+		var opts []Option
+		for pos := off; pos < end; {
+			if pos+4 > end {
+				return RR{}, 0, ErrBadRData
+			}
+			code, n := be16(p[pos:]), int(be16(p[pos+2:]))
+			pos += 4
+			if pos+n > end {
+				return RR{}, 0, ErrBadRData
+			}
+			opts = append(opts, Option{Code: code, Data: append([]byte(nil), p[pos:pos+n]...)})
+			pos += n
+		}
+		rr.Data = optData{opts: opts}
+	default:
+		rr.Data = Raw{RRType: typ, Data: append([]byte(nil), p[off:end]...)}
+	}
+	return rr, end, nil
+}
+
+func be16(p []byte) uint16 { return uint16(p[0])<<8 | uint16(p[1]) }
+
+func be32(p []byte) uint32 {
+	return uint32(p[0])<<24 | uint32(p[1])<<16 | uint32(p[2])<<8 | uint32(p[3])
+}

@@ -1,0 +1,262 @@
+package dnswire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// query builds a simple one-question query message.
+func query(id uint16, name string, typ Type) *Message {
+	return &Message{
+		ID:               id,
+		RecursionDesired: true,
+		Questions:        []Question{{Name: name, Type: typ, Class: ClassINET}},
+	}
+}
+
+// mustPack fails the test on any pack error.
+func mustPack(t *testing.T, m *Message) []byte {
+	t.Helper()
+	p, err := m.Pack()
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	return p
+}
+
+// mustUnpack fails the test on any unpack error.
+func mustUnpack(t *testing.T, p []byte) *Message {
+	t.Helper()
+	m, err := Unpack(p)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	return m
+}
+
+func TestNameRoundTrip(t *testing.T) {
+	cases := []string{
+		".",
+		"ash1.he.net.",
+		"ash1.he.net", // bare spelling packs like the FQDN
+		"a.b.c.d.e.f.g.",
+		strings.Repeat("x", 63) + ".example.",
+		`with\.dot.example.`,      // escaped dot inside a label
+		`back\\slash.example.`,    // escaped backslash
+		`sp\032ace.example.`,      // escaped space (non-printable range)
+		`\001\255binary.example.`, // arbitrary bytes
+	}
+	for _, name := range cases {
+		t.Run(name, func(t *testing.T) {
+			m := query(1, name, TypeTXT)
+			p := mustPack(t, m)
+			got := mustUnpack(t, p).Questions[0].Name
+			want := name
+			if want != "." && !strings.HasSuffix(want, ".") {
+				want += "."
+			}
+			if got != want {
+				t.Errorf("round trip = %q, want %q", got, want)
+			}
+			// The canonical form must itself be a fixpoint.
+			p2 := mustPack(t, query(1, got, TypeTXT))
+			if !bytes.Equal(p, p2) {
+				t.Errorf("canonical form re-packs differently")
+			}
+		})
+	}
+}
+
+func TestNameErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		want error
+	}{
+		{"", ErrBadName},
+		{"..", ErrBadName},
+		{".leading.", ErrBadName},
+		{`dangling\`, ErrBadName},
+		{`bad\25`, ErrBadName},   // two-digit decimal escape
+		{`big\256.`, ErrBadName}, // escape above 255
+		{strings.Repeat("x", 64) + ".", ErrLabelTooLong},
+		{strings.Repeat("abcdefgh.", 32), ErrNameTooLong}, // 32*9 = 288 wire bytes
+	}
+	for _, tc := range cases {
+		if _, err := query(1, tc.name, TypeTXT).Pack(); !errors.Is(err, tc.want) {
+			t.Errorf("Pack(%q) error = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// fullMessage exercises every modeled record type, compression, and
+// EDNS in one message.
+func fullMessage() *Message {
+	return &Message{
+		ID:               0xBEEF,
+		Response:         true,
+		Authoritative:    true,
+		RecursionDesired: true,
+		RCode:            RCodeNoError,
+		Questions:        []Question{{Name: "ash1.he.net.", Type: TypeANY, Class: ClassINET}},
+		Answers: []RR{
+			{Name: "ash1.he.net.", Class: ClassINET, TTL: 300,
+				Data: TXT{"city=ashburn", "country=us"}},
+			{Name: "ash1.he.net.", Class: ClassINET, TTL: 300,
+				Data: PTR("ashburn.va.us.geo.invalid.")},
+			{Name: "ash1.he.net.", Class: ClassINET, TTL: 300,
+				Data: NewLOC(39.0437, -77.4875)},
+			{Name: "ash1.he.net.", Class: ClassINET, TTL: 300,
+				Data: A{192, 0, 2, 1}},
+		},
+		Additional: []RR{
+			{Name: "meta.he.net.", Class: ClassINET, TTL: 60,
+				Data: Raw{RRType: 99, Data: []byte{1, 2, 3}}},
+		},
+		EDNS: &EDNS{UDPSize: 1232, Options: []Option{{Code: 10, Data: []byte("cookiecookie")}}},
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := fullMessage()
+	p := mustPack(t, m)
+	got := mustUnpack(t, p)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip diverged:\n got %#v\nwant %#v", got, m)
+	}
+	p2 := mustPack(t, got)
+	if !bytes.Equal(p, p2) {
+		t.Fatal("re-encode is not byte-identical")
+	}
+}
+
+func TestCompressionShrinksRepeatedNames(t *testing.T) {
+	m := fullMessage()
+	p := mustPack(t, m)
+	// "ash1.he.net." appears five times; compressed, it is written once
+	// (13 bytes) and referenced by 2-byte pointers afterwards.
+	if n := bytes.Count(p, []byte("\x04ash1\x02he\x03net\x00")); n != 1 {
+		t.Errorf("full owner name written %d times, want 1", n)
+	}
+	// The PTR target's "invalid" tail shares no suffix with the owners,
+	// so it must appear in full exactly once too.
+	if n := bytes.Count(p, []byte("\x07invalid\x00")); n != 1 {
+		t.Errorf("PTR tail written %d times, want 1", n)
+	}
+	// The four answer owners compress to pointers at offset 12, where
+	// the question name was written.
+	if n := bytes.Count(p, []byte{0xC0, 0x0C}); n != 4 {
+		t.Errorf("found %d pointers to the question name, want 4", n)
+	}
+}
+
+func TestPackTruncated(t *testing.T) {
+	m := fullMessage()
+	full := mustPack(t, m)
+	limit := len(full) - 1 // force at least the last record out
+	p, err := m.PackTruncated(limit)
+	if err != nil {
+		t.Fatalf("PackTruncated: %v", err)
+	}
+	if len(p) > limit {
+		t.Fatalf("truncated message is %d bytes, limit %d", len(p), limit)
+	}
+	got := mustUnpack(t, p)
+	if got.EDNS == nil {
+		t.Error("OPT record dropped by truncation; it must survive")
+	}
+	if len(got.Additional) != 0 {
+		t.Errorf("additional kept %d records, want 0 (dropped first)", len(got.Additional))
+	}
+	// Dropping the additional record alone must not set TC.
+	if got.Truncated {
+		t.Error("TC set although no answer/authority was dropped")
+	}
+
+	// Squeeze until answers drop: now TC must be set. The question (17
+	// bytes) plus OPT (27 bytes) floor is 56; 62 admits no answer.
+	p, err = m.PackTruncated(headerLen + 50)
+	if err != nil {
+		t.Fatalf("PackTruncated(tight): %v", err)
+	}
+	got = mustUnpack(t, p)
+	if !got.Truncated {
+		t.Error("TC clear although answers were dropped")
+	}
+	if len(got.Answers) >= len(m.Answers) {
+		t.Errorf("answers = %d, want fewer than %d", len(got.Answers), len(m.Answers))
+	}
+	if got.EDNS == nil {
+		t.Error("OPT record lost under tight truncation")
+	}
+
+	// A limit the question+OPT cannot meet is an error, not silence.
+	if _, err := m.PackTruncated(headerLen); !errors.Is(err, ErrMessageTooLong) {
+		t.Errorf("impossible limit error = %v, want ErrMessageTooLong", err)
+	}
+}
+
+func TestExtendedRCode(t *testing.T) {
+	m := query(7, "v.example.", TypeTXT)
+	m.Response = true
+	m.RCode = RCodeBadVers // 16: needs the OPT extended bits
+	if _, err := m.Pack(); !errors.Is(err, ErrBadRCode) {
+		t.Fatalf("BADVERS without EDNS error = %v, want ErrBadRCode", err)
+	}
+	m.EDNS = &EDNS{UDPSize: 512}
+	p := mustPack(t, m)
+	got := mustUnpack(t, p)
+	if got.RCode != RCodeBadVers {
+		t.Errorf("rcode = %v, want BADVERS", got.RCode)
+	}
+	if got.RCode.String() != "BADVERS" {
+		t.Errorf("String() = %q", got.RCode.String())
+	}
+}
+
+func TestLOCConversion(t *testing.T) {
+	cases := [][2]float64{
+		{39.0437, -77.4875},
+		{-33.8688, 151.2093},
+		{0, 0},
+		{90, 180},
+		{-90, -180},
+	}
+	for _, c := range cases {
+		loc := NewLOC(c[0], c[1])
+		lat, long := loc.LatLong()
+		if math.Abs(lat-c[0]) > 1e-6 || math.Abs(long-c[1]) > 1e-6 {
+			t.Errorf("LOC(%v) round trip = (%v, %v)", c, lat, long)
+		}
+	}
+}
+
+func TestReplyEchoesQuestion(t *testing.T) {
+	q := query(42, "ash1.he.net.", TypeTXT)
+	r := Reply(q)
+	if r.ID != 42 || !r.Response || !r.RecursionDesired {
+		t.Errorf("reply header = %+v", r)
+	}
+	if !reflect.DeepEqual(r.Questions, q.Questions) {
+		t.Errorf("reply questions = %+v", r.Questions)
+	}
+}
+
+func TestUnpackRejectsTrailingBytes(t *testing.T) {
+	p := append(mustPack(t, query(1, "a.example.", TypeTXT)), 0xDE, 0xAD)
+	if _, err := Unpack(p); !errors.Is(err, ErrTrailingGarbage) {
+		t.Errorf("error = %v, want ErrTrailingGarbage", err)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	if TypeTXT.String() != "TXT" || TypeLOC.String() != "LOC" || Type(7).String() != "TYPE7" {
+		t.Error("Type.String mismatch")
+	}
+	if RCodeNXDomain.String() != "NXDOMAIN" || RCode(9).String() != "RCODE9" {
+		t.Error("RCode.String mismatch")
+	}
+}

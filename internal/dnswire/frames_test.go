@@ -1,0 +1,164 @@
+package dnswire
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFrame reads a hand-assembled wire frame from testdata/frames:
+// hex bytes separated by whitespace, '#' starting a comment.
+func loadFrame(t testing.TB, name string) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", "frames", name+".hex"))
+	if err != nil {
+		t.Fatalf("read frame: %v", err)
+	}
+	var sb strings.Builder
+	for _, line := range strings.Split(string(raw), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		sb.WriteString(strings.Join(strings.Fields(line), ""))
+	}
+	p, err := hex.DecodeString(sb.String())
+	if err != nil {
+		t.Fatalf("frame %s is not valid hex: %v", name, err)
+	}
+	return p
+}
+
+// frameVerdicts pins each golden frame to its decode outcome: nil for
+// the canonical frames (which must also re-encode byte-identical), a
+// specific typed error for each corruption class.
+var frameVerdicts = []struct {
+	name string
+	err  error
+}{
+	{"query_txt", nil},
+	{"response_compressed", nil},
+	{"response_loc", nil},
+	{"ptr_answer", nil},
+	{"foreign_opt", nil},
+	{"pointer_loop", ErrPointerLoop},
+	{"pointer_forward", ErrPointerLoop},
+	{"truncated_header", ErrShortMessage},
+	{"truncated_question", ErrShortMessage},
+	{"bad_label", ErrBadLabel},
+	{"rdlength_overrun", ErrShortMessage},
+	{"txt_overrun", ErrBadRData},
+	{"edns_option_overrun", ErrBadRData},
+	{"edns_rdlen_overrun", ErrShortMessage},
+	{"double_opt", ErrBadOPT},
+	{"opt_in_answer", ErrBadOPT},
+	{"opt_nonroot", ErrBadOPT},
+	{"trailing_garbage", ErrTrailingGarbage},
+	{"name_too_long", ErrNameTooLong},
+}
+
+func TestGoldenFrames(t *testing.T) {
+	for _, tc := range frameVerdicts {
+		t.Run(tc.name, func(t *testing.T) {
+			p := loadFrame(t, tc.name)
+			m, err := Unpack(p)
+			if tc.err != nil {
+				if !errors.Is(err, tc.err) {
+					t.Fatalf("Unpack error = %v, want %v", err, tc.err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Unpack: %v", err)
+			}
+			p2, err := m.Pack()
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if !bytes.Equal(p, p2) {
+				t.Fatalf("re-encode diverged:\n got %x\nwant %x", p2, p)
+			}
+		})
+	}
+}
+
+// TestGoldenFramesCoverDir fails when a frame file exists without a
+// verdict entry, so new corpus additions cannot silently go untested.
+func TestGoldenFramesCoverDir(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "frames", "*.hex"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := make(map[string]bool, len(frameVerdicts))
+	for _, tc := range frameVerdicts {
+		covered[tc.name] = true
+	}
+	if len(files) == 0 {
+		t.Fatal("no frames found")
+	}
+	for _, f := range files {
+		name := strings.TrimSuffix(filepath.Base(f), ".hex")
+		if !covered[name] {
+			t.Errorf("frame %s has no verdict entry", name)
+		}
+	}
+}
+
+// TestPointerPingPong covers the loop shape the strictly-decreasing
+// rule exists for: two pointers bouncing between offsets where each
+// target is below its pointer's position but not below the previous
+// target (12 -> 20 is caught as forward; 22 -> 14 -> 16 ping-pongs).
+func TestPointerPingPong(t *testing.T) {
+	p := []byte{
+		0, 0x11, 1, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+		1, 'a', 0xC0, 16, // offset 12: label "a", pointer -> 16
+		1, 'b', 0xC0, 12, // offset 16: label "b", pointer -> 12
+	}
+	// Question name starts at 12: a -> ptr(16) -> b -> ptr(12): the
+	// second hop's target 12 is below pos but not below lastTarget 16
+	// on the *next* round (12 < 16 passes, then 16 >= 12 fails).
+	if _, err := Unpack(p); !errors.Is(err, ErrPointerLoop) {
+		t.Fatalf("error = %v, want ErrPointerLoop", err)
+	}
+}
+
+// TestPointerChainNameTooLong builds a legal strictly-backwards
+// pointer chain whose accumulated labels pass 255 wire bytes: the
+// per-hop wire accounting must reject it even though every pointer is
+// well-formed.
+func TestPointerChainNameTooLong(t *testing.T) {
+	buf := []byte{0, 0x12, 1, 0, 0, 1, 0, 0, 0, 0, 0, 0}
+	label := append([]byte{63}, bytes.Repeat([]byte{'a'}, 63)...)
+	// Segment 0 at offset 12: 63-byte label, then root.
+	seg := make([]int, 5)
+	seg[0] = len(buf)
+	buf = append(buf, label...)
+	buf = append(buf, 0)
+	// Segments 1..4: 63-byte label, then a pointer to the previous
+	// segment — each hop target strictly below the last.
+	for i := 1; i < 5; i++ {
+		seg[i] = len(buf)
+		buf = append(buf, label...)
+		buf = append(buf, 0xC0|byte(seg[i-1]>>8), byte(seg[i-1]))
+	}
+	// The question name is segment 4: five labels = 321 wire bytes.
+	qname := seg[4]
+	buf = append(buf, 0xC0|byte(qname>>8), byte(qname), 0, 16, 0, 1)
+	// unpackName starts at the question offset; patch the header so the
+	// question section begins there. Easiest: call unpackName directly.
+	name, _, err := unpackName(buf, qname)
+	if !errors.Is(err, ErrNameTooLong) {
+		t.Fatalf("error = %v (name %q), want ErrNameTooLong", err, name)
+	}
+	// A three-segment walk (193 wire bytes) stays legal.
+	name, _, err = unpackName(buf, seg[2])
+	if err != nil {
+		t.Fatalf("three-segment chain: %v", err)
+	}
+	if want := strings.Repeat(strings.Repeat("a", 63)+".", 3); name != want {
+		t.Fatalf("name = %q, want %q", name, want)
+	}
+}

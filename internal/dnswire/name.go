@@ -1,0 +1,177 @@
+package dnswire
+
+// Domain names cross the codec boundary as presentation-format strings
+// — labels joined with dots, fully qualified with a trailing dot, root
+// spelled "." — because that is what the serving layer looks up and
+// what tests want to read. Label bytes that would be ambiguous or
+// unprintable are escaped RFC 1035-style: `\.` and `\\` for the two
+// metacharacters, `\DDD` (three decimal digits) for anything outside
+// the visible-ASCII range. Decoding always emits this canonical form,
+// so decode→encode→decode is a fixpoint even for names whose labels
+// contain dots, backslashes, or arbitrary bytes.
+
+// maxPointerHops bounds a decompression walk. Strictly-decreasing
+// pointer targets already guarantee termination; the budget is a
+// second, unconditional stop so a review of unpackName never has to
+// trust the monotonicity argument alone (DESIGN.md §12).
+const maxPointerHops = 127
+
+// maxNameWire is the RFC 1035 §2.3.4 limit on a name's wire length:
+// every label length byte plus label bytes plus the final zero.
+const maxNameWire = 255
+
+// maxLabel is the longest single label.
+const maxLabel = 63
+
+// splitName parses a presentation-format name into raw label byte
+// slices. Both fully-qualified ("a.b.") and bare ("a.b") spellings are
+// accepted; "." is the root (no labels). Empty names, empty labels,
+// dangling or malformed escapes, 64-byte labels, and names beyond the
+// 255-byte wire limit are errors.
+func splitName(name string) ([][]byte, error) {
+	if name == "" {
+		return nil, ErrBadName
+	}
+	if name == "." {
+		return nil, nil
+	}
+	var labels [][]byte
+	var cur []byte
+	i := 0
+	for i < len(name) {
+		switch c := name[i]; {
+		case c == '\\':
+			if i+1 >= len(name) {
+				return nil, ErrBadName
+			}
+			d := name[i+1]
+			if d >= '0' && d <= '9' {
+				if i+3 >= len(name) || !isDigit(name[i+2]) || !isDigit(name[i+3]) {
+					return nil, ErrBadName
+				}
+				v := int(d-'0')*100 + int(name[i+2]-'0')*10 + int(name[i+3]-'0')
+				if v > 255 {
+					return nil, ErrBadName
+				}
+				cur = append(cur, byte(v))
+				i += 4
+			} else {
+				cur = append(cur, d)
+				i += 2
+			}
+		case c == '.':
+			if len(cur) == 0 {
+				return nil, ErrBadName // leading dot or ".."
+			}
+			if len(cur) > maxLabel {
+				return nil, ErrLabelTooLong
+			}
+			labels = append(labels, cur)
+			cur = nil
+			i++
+		default:
+			cur = append(cur, c)
+			i++
+		}
+	}
+	if len(cur) > 0 { // bare spelling: final label has no trailing dot
+		if len(cur) > maxLabel {
+			return nil, ErrLabelTooLong
+		}
+		labels = append(labels, cur)
+	}
+	wire := 1
+	for _, l := range labels {
+		wire += 1 + len(l)
+	}
+	if wire > maxNameWire {
+		return nil, ErrNameTooLong
+	}
+	return labels, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// appendEscaped appends one label in canonical presentation form.
+func appendEscaped(dst, label []byte) []byte {
+	for _, b := range label {
+		switch {
+		case b == '.' || b == '\\':
+			dst = append(dst, '\\', b)
+		case b < '!' || b > '~':
+			dst = append(dst, '\\', '0'+b/100, '0'+(b/10)%10, '0'+b%10)
+		default:
+			dst = append(dst, b)
+		}
+	}
+	return dst
+}
+
+// unpackName decodes the name starting at off, following compression
+// pointers. It returns the canonical presentation form and the offset
+// of the first byte after the name's in-place portion (i.e. after the
+// first pointer, or after the terminating zero).
+//
+// Loop safety is structural, not heuristic: every pointer must target
+// an offset strictly below both its own position and every previous
+// target, which is exactly what a real encoder produces (each stored
+// name's tail can only reference an earlier stored name) and which
+// makes the walk's target sequence strictly decreasing — so it
+// terminates. maxPointerHops is a belt-and-braces cap on top, and the
+// 255-byte wire accounting bounds the label bytes walked between hops.
+func unpackName(msg []byte, off int) (string, int, error) {
+	var out []byte
+	pos, next := off, -1
+	hops, wire := 0, 0
+	lastTarget := 1 << 30
+	for {
+		if pos >= len(msg) {
+			return "", 0, ErrShortMessage
+		}
+		switch b := msg[pos]; {
+		case b == 0:
+			wire++
+			if wire > maxNameWire {
+				return "", 0, ErrNameTooLong
+			}
+			if next < 0 {
+				next = pos + 1
+			}
+			if len(out) == 0 {
+				return ".", next, nil
+			}
+			return string(out), next, nil
+		case b < 0x40: // ordinary label
+			end := pos + 1 + int(b)
+			if end > len(msg) {
+				return "", 0, ErrShortMessage
+			}
+			wire += 1 + int(b)
+			if wire > maxNameWire {
+				return "", 0, ErrNameTooLong
+			}
+			out = appendEscaped(out, msg[pos+1:end])
+			out = append(out, '.')
+			pos = end
+		case b >= 0xC0: // compression pointer
+			if pos+2 > len(msg) {
+				return "", 0, ErrShortMessage
+			}
+			target := int(b&0x3F)<<8 | int(msg[pos+1])
+			if next < 0 {
+				next = pos + 2
+			}
+			if target >= pos || target >= lastTarget {
+				return "", 0, ErrPointerLoop
+			}
+			hops++
+			if hops > maxPointerHops {
+				return "", 0, ErrPointerLoop
+			}
+			lastTarget = target
+			pos = target
+		default: // 0x40–0xBF: reserved label types
+			return "", 0, ErrBadLabel
+		}
+	}
+}

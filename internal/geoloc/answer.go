@@ -1,0 +1,66 @@
+package geoloc
+
+import (
+	"strconv"
+	"strings"
+
+	"hoiho/internal/core"
+)
+
+// AnswerStrings renders a geolocation as key=value strings — the TXT
+// RDATA the geodns daemon serves, one character-string per field. The
+// keys mirror the /v1 JSON field names (city, region, country, lat,
+// long, suffix, hint, type, learned) so the two front ends stay
+// mechanically comparable: joining these pairs and the JSON body must
+// describe the same answer. Empty region and false learned are
+// omitted, like their omitempty JSON counterparts.
+func AnswerStrings(g *core.Geolocation) []string {
+	if g == nil || g.Loc == nil {
+		return nil
+	}
+	out := make([]string, 0, 9)
+	out = append(out, "city="+g.Loc.City)
+	if g.Loc.Region != "" {
+		out = append(out, "region="+g.Loc.Region)
+	}
+	out = append(out, "country="+g.Loc.Country,
+		"lat="+strconv.FormatFloat(g.Loc.Pos.Lat, 'g', -1, 64),
+		"long="+strconv.FormatFloat(g.Loc.Pos.Long, 'g', -1, 64),
+		"suffix="+g.Suffix,
+		"hint="+g.Hint,
+		"type="+g.Type.String())
+	if g.Learned {
+		out = append(out, "learned=true")
+	}
+	return out
+}
+
+// PTRTarget renders a geolocation as a synthetic domain name under the
+// RFC 2606 reserved "invalid." TLD — the type-correct payload for a
+// PTR answer: <city>.<region>.<country>.geo.invalid., with the region
+// label omitted when the location has none. Label bytes that DNS
+// presentation format or common tooling would trip on (spaces, dots,
+// anything outside lower-case alphanumerics and '-') are folded to
+// '-' so the name never needs escaping.
+func PTRTarget(g *core.Geolocation) string {
+	if g == nil || g.Loc == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, label := range []string{g.Loc.City, g.Loc.Region, g.Loc.Country} {
+		if label == "" {
+			continue
+		}
+		for i := 0; i < len(label); i++ {
+			c := label[i]
+			if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '-' {
+				b.WriteByte(c)
+			} else {
+				b.WriteByte('-')
+			}
+		}
+		b.WriteByte('.')
+	}
+	b.WriteString("geo.invalid.")
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package geoloc
+
+import (
+	"reflect"
+	"testing"
+
+	"hoiho/internal/core"
+	"hoiho/internal/geo"
+	"hoiho/internal/geodict"
+)
+
+func sampleGeolocation() *core.Geolocation {
+	return &core.Geolocation{
+		Hostname: "ash1.he.net",
+		Suffix:   "he.net",
+		Hint:     "ash",
+		Type:     geodict.HintIATA,
+		Loc: &geodict.Location{
+			City: "ashburn", Region: "va", Country: "us",
+			Pos: geo.LatLong{Lat: 39.0437, Long: -77.4875},
+		},
+	}
+}
+
+func TestAnswerStrings(t *testing.T) {
+	got := AnswerStrings(sampleGeolocation())
+	want := []string{
+		"city=ashburn", "region=va", "country=us",
+		"lat=39.0437", "long=-77.4875",
+		"suffix=he.net", "hint=ash", "type=iata",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("AnswerStrings = %v, want %v", got, want)
+	}
+}
+
+func TestAnswerStringsOmissions(t *testing.T) {
+	g := sampleGeolocation()
+	g.Loc.Region = ""
+	g.Learned = true
+	got := AnswerStrings(g)
+	for _, s := range got {
+		if s == "region=" {
+			t.Error("empty region not omitted")
+		}
+	}
+	if got[len(got)-1] != "learned=true" {
+		t.Errorf("learned flag missing: %v", got)
+	}
+	if AnswerStrings(nil) != nil {
+		t.Error("nil geolocation should yield no strings")
+	}
+	if AnswerStrings(&core.Geolocation{}) != nil {
+		t.Error("geolocation without location should yield no strings")
+	}
+}
+
+func TestPTRTarget(t *testing.T) {
+	cases := []struct {
+		mutate func(*core.Geolocation)
+		want   string
+	}{
+		{func(g *core.Geolocation) {}, "ashburn.va.us.geo.invalid."},
+		{func(g *core.Geolocation) { g.Loc.Region = "" }, "ashburn.us.geo.invalid."},
+		{func(g *core.Geolocation) { g.Loc.City = "new york" }, "new-york.va.us.geo.invalid."},
+		{func(g *core.Geolocation) { g.Loc.City = "st.louis" }, "st-louis.va.us.geo.invalid."},
+	}
+	for _, tc := range cases {
+		g := sampleGeolocation()
+		tc.mutate(g)
+		if got := PTRTarget(g); got != tc.want {
+			t.Errorf("PTRTarget = %q, want %q", got, tc.want)
+		}
+	}
+	if PTRTarget(nil) != "" {
+		t.Error("nil geolocation should yield empty target")
+	}
+}

@@ -50,8 +50,11 @@ var droppederrDirs = []string{
 	"internal/geoloc",
 	"internal/benchrec",
 	"internal/obs",
+	"internal/dnswire",
+	"internal/dnsserve",
 	"cmd/geoserve",
 	"cmd/geosnap",
+	"cmd/geodns",
 	"cmd/geobench",
 	"cmd/hoiho",
 }

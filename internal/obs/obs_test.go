@@ -210,3 +210,31 @@ func TestConcurrentSpans(t *testing.T) {
 		t.Fatalf("exported %d lines, want %d", lines, workers*perWorker+1)
 	}
 }
+
+func TestStageCounters(t *testing.T) {
+	tr := New(Options{})
+	s := tr.Start("serve")
+	s.Count("queries", 3)
+	s.Count("refused", 1)
+	s.End()
+	s = tr.Start("serve")
+	s.Count("queries", 2)
+	s.End()
+
+	got := tr.StageCounters("serve")
+	if got["queries"] != 5 || got["refused"] != 1 {
+		t.Errorf("StageCounters = %v", got)
+	}
+	// The snapshot is a copy: mutating it must not touch the tracer.
+	got["queries"] = 99
+	if tr.StageCounters("serve")["queries"] != 5 {
+		t.Error("StageCounters returned a live reference")
+	}
+	if tr.StageCounters("absent") != nil {
+		t.Error("unknown stage should yield nil")
+	}
+	var nilTr *Tracer
+	if nilTr.StageCounters("serve") != nil {
+		t.Error("nil tracer should yield nil")
+	}
+}
