@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"hoiho/internal/dnswire"
+	"hoiho/internal/promexp"
 )
 
 // TestCLIWorkflow exercises the complete command-line workflow end to
@@ -86,12 +87,19 @@ func TestCLIWorkflow(t *testing.T) {
 		t.Fatalf("conventions file empty:\n%s", ncText)
 	}
 
-	// 4. Apply the published conventions without the corpus.
+	// 4. Apply the published conventions without the corpus, and ask
+	// for the decision trace behind the answer.
 	suffix, host := pickGeolocatable(t, string(ncText), data)
 	if host != "" {
 		out = run(hoiho, "-nc", ncFile, "-suffix", suffix, "-geolocate", host)
 		if !strings.Contains(out, "->") {
 			t.Errorf("hoiho -nc geolocate output:\n%s", out)
+		}
+		out = run(hoiho, "-nc", ncFile, "-suffix", suffix, "-explain", host)
+		for _, want := range []string{"hostname:", "suffix:", "regex 1:", "verdict:"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("hoiho -explain output missing %q:\n%s", want, out)
+			}
 		}
 	}
 
@@ -134,10 +142,14 @@ func TestCLIWorkflow(t *testing.T) {
 	if host != "" {
 		geodns := build("geodns")
 		geoserve := build("geoserve")
-		dnsAddr, stopDNS := startDaemon(t, geodns, "-snapshot", snapFile, "-addr", "127.0.0.1:0")
+		dnsAddr, adminAddr, stopDNS := startDaemon(t, geodns,
+			"-snapshot", snapFile, "-addr", "127.0.0.1:0", "-admin-addr", "127.0.0.1:0")
 		defer stopDNS()
-		httpAddr, stopHTTP := startDaemon(t, geoserve, "-snapshot", snapFile, "-addr", "127.0.0.1:0")
+		httpAddr, _, stopHTTP := startDaemon(t, geoserve, "-snapshot", snapFile, "-addr", "127.0.0.1:0")
 		defer stopHTTP()
+		if adminAddr == "" {
+			t.Fatal("geodns never logged its admin-plane address")
+		}
 
 		pkt := packQuery(t, host+".", dnswire.TypeTXT)
 		udpResp := dnsExchangeUDP(t, dnsAddr, pkt)
@@ -204,13 +216,82 @@ func TestCLIWorkflow(t *testing.T) {
 			kv["long"] != fmt.Sprintf("%g", httpRes.Location.Long) {
 			t.Errorf("coordinates disagree: DNS %v vs HTTP %+v", kv, httpRes.Location)
 		}
+
+		// 9. Explain equivalence: the /v1/explain JSON document and the
+		// hoiho -explain-json line for the same hostname over the same
+		// snapshot must be byte-identical — one trace, two fronts.
+		exResp, err := http.Get("http://" + httpAddr + "/v1/explain?hostname=" + host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exBody, err := io.ReadAll(exResp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := exResp.Body.Close(); err != nil {
+			t.Error(err)
+		}
+		if exResp.StatusCode != http.StatusOK {
+			t.Fatalf("/v1/explain status %d: %s", exResp.StatusCode, exBody)
+		}
+		cliOut := run(hoiho, "-snapshot", snapFile, "-suffix", suffix, "-explain", host, "-explain-json")
+		cliLines := strings.Split(strings.TrimRight(cliOut, "\n"), "\n")
+		cliJSON := cliLines[len(cliLines)-1]
+		if httpJSON := strings.TrimRight(string(exBody), "\n"); cliJSON != httpJSON {
+			t.Errorf("explain fronts disagree:\n cli  %s\n http %s", cliJSON, httpJSON)
+		}
+
+		// 10. The geodns admin plane serves liveness and a conformant
+		// Prometheus exposition that reflects the queries above.
+		hz, err := http.Get("http://" + adminAddr + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var health struct {
+			Status string `json:"status"`
+			Commit string `json:"commit"`
+		}
+		if err := json.NewDecoder(hz.Body).Decode(&health); err != nil {
+			t.Fatal(err)
+		}
+		if err := hz.Body.Close(); err != nil {
+			t.Error(err)
+		}
+		if health.Status != "ok" || health.Commit == "" {
+			t.Errorf("geodns healthz = %+v", health)
+		}
+		pm, err := http.Get("http://" + adminAddr + "/metrics/prom")
+		if err != nil {
+			t.Fatal(err)
+		}
+		promBody, err := io.ReadAll(pm.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pm.Body.Close(); err != nil {
+			t.Error(err)
+		}
+		if err := promexp.Conform(promBody); err != nil {
+			t.Errorf("geodns admin exposition not conformant: %v\n%s", err, promBody)
+		}
+		for _, want := range []string{
+			"geodns_queries_total",
+			`geodns_responses_total{outcome="noerror"}`,
+			"geodns_edns_udp_size_bytes_bucket",
+			"geodns_index_generation 1",
+		} {
+			if !strings.Contains(string(promBody), want) {
+				t.Errorf("geodns exposition missing %q\n%s", want, promBody)
+			}
+		}
 	}
 }
 
 // startDaemon launches a server binary, waits for its "listening on"
-// line, and returns the bound address plus a stop function that
-// SIGTERMs the process and waits for a clean exit.
-func startDaemon(t *testing.T, path string, args ...string) (string, func()) {
+// line, and returns the bound address, the admin-plane address (empty
+// unless the daemon logged one before declaring readiness), plus a
+// stop function that SIGTERMs the process and waits for a clean exit.
+func startDaemon(t *testing.T, path string, args ...string) (string, string, func()) {
 	t.Helper()
 	cmd := exec.Command(path, args...)
 	stderr, err := cmd.StderrPipe()
@@ -221,12 +302,26 @@ func startDaemon(t *testing.T, path string, args ...string) (string, func()) {
 		t.Fatal(err)
 	}
 	addrCh := make(chan string, 1)
+	adminCh := make(chan string, 1)
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
 		sc := bufio.NewScanner(stderr)
 		for sc.Scan() {
 			line := sc.Text()
+			// The admin line is logged before the listening line, so by
+			// the time addrCh fires, adminCh is already filled if the
+			// daemon has an admin plane.
+			if i := strings.Index(line, "admin plane on http://"); i >= 0 {
+				addr := line[i+len("admin plane on http://"):]
+				if j := strings.IndexByte(addr, ' '); j >= 0 {
+					addr = addr[:j]
+				}
+				select {
+				case adminCh <- addr:
+				default:
+				}
+			}
 			if i := strings.Index(line, "listening on "); i >= 0 {
 				addr := line[i+len("listening on "):]
 				if j := strings.IndexByte(addr, ' '); j >= 0 {
@@ -250,11 +345,16 @@ func startDaemon(t *testing.T, path string, args ...string) (string, func()) {
 	}
 	select {
 	case addr := <-addrCh:
-		return addr, stop
+		admin := ""
+		select {
+		case admin = <-adminCh:
+		default:
+		}
+		return addr, admin, stop
 	case <-time.After(30 * time.Second):
 		stop()
 		t.Fatalf("%s never reported its listen address", filepath.Base(path))
-		return "", nil
+		return "", "", nil
 	}
 }
 

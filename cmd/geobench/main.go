@@ -29,6 +29,8 @@ import (
 	"net"
 	"net/netip"
 	"os"
+
+	"hoiho/internal/buildinfo"
 	"os/exec"
 	"regexp"
 	"runtime"
@@ -66,7 +68,12 @@ func main() {
 	runPat := flag.String("run", "", "run only benchmarks matching this regexp")
 	list := flag.Bool("list", false, "list the registered suite and exit")
 	commitFlag := flag.String("commit", "", "commit id to stamp (default: git rev-parse, best effort)")
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "geobench")
+		return
+	}
 	// -corpus has a default; drop it when the user named another input
 	// explicitly so Source's exactly-one contract sees their choice.
 	if src.Snapshot != "" || src.NC != "" {

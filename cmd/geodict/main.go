@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"hoiho/internal/buildinfo"
 	"hoiho/internal/geodict"
 )
 
@@ -29,7 +30,12 @@ func main() {
 	place := flag.String("place", "", "look up a city or town name")
 	country := flag.String("country", "", "canonicalise a country token")
 	address := flag.String("address", "", "look up a facility street address token")
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "geodict")
+		return
+	}
 
 	d, err := geodict.Default()
 	if err != nil {

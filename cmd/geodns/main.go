@@ -33,23 +33,46 @@
 // geoserve: re-resolve the boot source, spot-check the replacement
 // index, swap the pointer. SIGINT/SIGTERM drain open TCP connections
 // and exit cleanly, logging the lifetime query counters.
+//
+// With -admin-addr, a plain-HTTP sidecar listener serves the
+// operational plane that does not belong on the DNS port:
+//
+//	GET /metrics/prom   Prometheus text exposition — per-outcome query
+//	                    counters, limiter refusals and evictions, the
+//	                    negotiated EDNS response-size histogram, index
+//	                    lookup counters, reload build/swap timings, and
+//	                    query-log counters, all rendered through the
+//	                    same internal/promexp registry geoserve uses
+//	GET /healthz        liveness, suffix count, serving generation,
+//	                    build commit and go version
+//	GET /debug/pprof/   net/http/pprof profiling
+//
+// With -qlog <path>, every handled query appends a sampled JSONL
+// record (timestamp, request id, qtype, hostname, source, rcode,
+// outcome, duration, serving generation) to a size-rotated access
+// log; -qlog-sample keeps 1 in N. -version prints build info.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
 	"strings"
 	"syscall"
+	"time"
 
+	"hoiho/internal/buildinfo"
 	"hoiho/internal/dnsserve"
 	"hoiho/internal/geoloc"
 	"hoiho/internal/obs"
+	"hoiho/internal/qlog"
 )
 
 func main() {
@@ -63,7 +86,18 @@ func main() {
 	cacheSize := flag.Int("cache", geoloc.DefaultCacheSize,
 		"LRU result-cache entries (negative disables)")
 	usableOnly := flag.Bool("usable-only", false, "serve only good/promising conventions")
+	adminAddr := flag.String("admin-addr", "",
+		"HTTP admin listener for /metrics/prom, /healthz, /debug/pprof/ (empty disables)")
+	qlogPath := flag.String("qlog", "", "write a sampled JSONL query log to this file (empty disables)")
+	qlogSample := flag.Int("qlog-sample", 1, "keep 1 in N query-log records")
+	qlogMaxBytes := flag.Int64("qlog-max-bytes", 64<<20,
+		"rotate the query log to <path>.1 before exceeding this size (0 disables rotation)")
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "geodns")
+		return
+	}
 	if _, err := src.Kind(); err != nil {
 		fmt.Fprintln(os.Stderr, "geodns:", err)
 		flag.Usage()
@@ -81,12 +115,29 @@ func main() {
 	}
 	log.Printf("geodns: serving %d conventions from %s", resolved.Index.Len(), src.Describe())
 
+	var ql *qlog.Logger
+	if *qlogPath != "" {
+		ql, err = qlog.New(qlog.Options{
+			Path: *qlogPath, Sample: *qlogSample, MaxBytes: *qlogMaxBytes,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := ql.Close(); err != nil {
+				log.Printf("geodns: query log: %v", err)
+			}
+		}()
+		log.Printf("geodns: query log at %s (1 in %d)", *qlogPath, max(1, *qlogSample))
+	}
+
 	s := dnsserve.New(resolved.Index, dnsserve.Config{
 		TTL:       uint32(*ttl),
 		UDPSize:   uint16(*udpSize),
 		Rate:      *rate,
 		Burst:     *burst,
 		Tracer:    tracer,
+		QueryLog:  ql,
 		Source:    src,
 		IndexOpts: opts,
 	})
@@ -105,6 +156,17 @@ func main() {
 	uconn, err := net.ListenUDP("udp", &net.UDPAddr{IP: tcpAddr.IP, Port: tcpAddr.Port, Zone: tcpAddr.Zone})
 	if err != nil {
 		fatal(err)
+	}
+	// The admin plane binds before the listening line is logged: a bad
+	// -admin-addr fails fast, and anything scraping startup logs sees
+	// the admin address before the serving address declares readiness.
+	var adminLn net.Listener
+	if *adminAddr != "" {
+		adminLn, err = net.Listen("tcp", *adminAddr)
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("geodns: admin plane on http://%s (metrics, healthz, pprof)", adminLn.Addr())
 	}
 	log.Printf("geodns: listening on %s (udp+tcp)", ln.Addr())
 
@@ -127,22 +189,31 @@ func main() {
 					log.Printf("geodns: SIGHUP reload failed, still serving generation %d: %v",
 						s.Generation(), err)
 				} else {
-					log.Printf("geodns: SIGHUP reload: generation %d, %d suffixes", gen, suffixes)
+					rs := s.ReloadStats()
+					log.Printf("geodns: SIGHUP reload: generation %d, %d suffixes, build %dµs, swap %dµs",
+						gen, suffixes, rs.LastBuildUS, rs.LastSwapUS)
 				}
 			}
 		}
 	}()
 
-	// Both serve loops poll their deadlines and return once ctx is
-	// canceled (ServeTCP drains open connections first). Either loop
-	// failing on its own cancels the other.
-	errc := make(chan error, 2)
+	// All serve loops return once ctx is canceled (ServeTCP drains open
+	// connections, the admin server shuts down gracefully). Any loop
+	// failing on its own cancels the others.
+	errc := make(chan error, 3)
+	loops := 2
 	go func() { errc <- s.ServeUDP(ctx, uconn) }()
 	go func() { errc <- s.ServeTCP(ctx, ln) }()
+	if adminLn != nil {
+		loops++
+		go func() { errc <- serveAdmin(ctx, adminLn, newAdmin(s, ql)) }()
+	}
 	err = <-errc
 	stop()
-	if err2 := <-errc; err == nil {
-		err = err2
+	for i := 1; i < loops; i++ {
+		if err2 := <-errc; err == nil {
+			err = err2
+		}
 	}
 	<-hupDone
 	if cerr := uconn.Close(); cerr != nil && err == nil {
@@ -173,6 +244,29 @@ func statsLine(stats map[string]int64) string {
 		parts = append(parts, fmt.Sprintf("%s=%d", k, stats[k]))
 	}
 	return strings.Join(parts, " ")
+}
+
+// serveAdmin runs the admin HTTP server on ln until ctx is cancelled,
+// then shuts down gracefully; nil on a clean drain, mirroring
+// geoserve's serve loop.
+func serveAdmin(ctx context.Context, ln net.Listener, h http.Handler) error {
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("admin shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }
 
 func mustTCPAddr(addr string) *net.TCPAddr {

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"hoiho/internal/buildinfo"
 	"hoiho/internal/core"
 	"hoiho/internal/eval"
 	"hoiho/internal/geoloc"
@@ -30,7 +31,12 @@ func main() {
 	// half of the Source flag cluster (-workers, -no-learn).
 	src := &geoloc.Source{}
 	src.RegisterLearnFlags(flag.CommandLine)
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "geoeval")
+		return
+	}
 	cfg := src.CoreConfig(nil)
 
 	runAll := *experiment == "all"

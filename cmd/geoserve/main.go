@@ -16,6 +16,11 @@
 // Endpoints:
 //
 //	POST /v1/geolocate      {"hostname": "..."} or {"hostnames": [...]}
+//	GET  /v1/explain        ?hostname=... — full decision trace for one
+//	POST /v1/explain        hostname: suffix dispatch, each regex tried,
+//	                        overlay-vs-dictionary resolution, and the
+//	                        convention's PPV evidence; ?format=text renders
+//	                        the hoiho -explain report
 //	POST /v1/admin/reload   rebuild from the boot source, validate, swap
 //	GET  /healthz           liveness, index size, serving generation
 //	GET  /metrics           expvar counters: requests, cache hits/misses,
@@ -38,6 +43,12 @@
 // a fixed-size ring; the newest sample is exported as gauges in the
 // Prometheus rendering.
 //
+// With -qlog <path>, every handled request appends a sampled JSONL
+// record (timestamp, request id, route, status, duration, serving
+// generation) to a size-rotated access log; -qlog-sample keeps 1 in N.
+// The request id is also stamped on the request's trace span, joining
+// access-log lines to span aggregates. -version prints build info.
+//
 // The process drains in-flight requests and exits cleanly on SIGINT or
 // SIGTERM.
 package main
@@ -55,8 +66,10 @@ import (
 	"syscall"
 	"time"
 
+	"hoiho/internal/buildinfo"
 	"hoiho/internal/geoloc"
 	"hoiho/internal/obs"
+	"hoiho/internal/qlog"
 )
 
 func main() {
@@ -68,7 +81,16 @@ func main() {
 	usableOnly := flag.Bool("usable-only", false, "serve only good/promising conventions")
 	runtimeSample := flag.Duration("runtime-sample", 0,
 		"sample runtime telemetry (heap, goroutines, GC pauses) at this interval for /metrics (0 disables)")
+	qlogPath := flag.String("qlog", "", "write a sampled JSONL query log to this file (empty disables)")
+	qlogSample := flag.Int("qlog-sample", 1, "keep 1 in N query-log records")
+	qlogMaxBytes := flag.Int64("qlog-max-bytes", 64<<20,
+		"rotate the query log to <path>.1 before exceeding this size (0 disables rotation)")
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "geoserve")
+		return
+	}
 	if _, err := src.Kind(); err != nil {
 		fmt.Fprintln(os.Stderr, "geoserve:", err)
 		flag.Usage()
@@ -94,6 +116,21 @@ func main() {
 
 	s := newTracedServer(resolved.Index, tracer)
 	s.enableReload(src, opts)
+	if *qlogPath != "" {
+		ql, err := qlog.New(qlog.Options{
+			Path: *qlogPath, Sample: *qlogSample, MaxBytes: *qlogMaxBytes,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := ql.Close(); err != nil {
+				log.Printf("geoserve: query log: %v", err)
+			}
+		}()
+		s.enableQlog(ql)
+		log.Printf("geoserve: query log at %s (1 in %d)", *qlogPath, max(1, *qlogSample))
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,67 +1,62 @@
 // Prometheus text-exposition rendering for geoserve's /metrics.
 //
-// The JSON document at /metrics is the native shape; this file renders
-// the same counters — server totals, the /v1/geolocate latency
-// histogram (as a proper cumulative `le`-bucketed histogram), the
-// index's lookup counters, per-route span aggregates with status-class
-// counts, and the runtime-telemetry sampler's latest snapshot — in the
-// Prometheus text format (version 0.0.4): `# HELP`/`# TYPE` headers,
-// escaped label values, and monotone bucket series ending at +Inf.
+// The JSON document at /metrics is the native shape; the collectors
+// here render the same counters — server totals, the /v1/geolocate
+// latency histogram (as a proper cumulative `le`-bucketed histogram),
+// the index's lookup counters, per-route span aggregates with
+// status-class counts, the query-log counters, and the
+// runtime-telemetry sampler's latest snapshot — through the shared
+// internal/promexp registry, the same layer cmd/geodns serves from, so
+// both daemons speak one exposition dialect under one conformance test.
 package main
 
 import (
-	"bufio"
 	"expvar"
-	"fmt"
 	"net/http"
-	"sort"
-	"strconv"
 	"strings"
 
 	"hoiho/internal/obs"
+	"hoiho/internal/promexp"
 )
 
-const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+const promContentType = promexp.ContentType
+
+// newPromRegistry assembles the server's exposition in a fixed section
+// order: totals, latency, index, reload, routes, qlog, runtime.
+func (s *server) newPromRegistry() *promexp.Registry {
+	r := promexp.NewRegistry()
+	r.Register(s.promTotals, s.promLatency, s.promIndex, s.promReload,
+		s.promRoutes, s.promQlog, s.promRuntime)
+	return r
+}
 
 func (s *server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", promContentType)
-	pw := &promWriter{w: bufio.NewWriter(w)}
+	s.prom.ServeHTTP(w, r)
+}
 
-	pw.family("geoserve_requests_total", "HTTP requests received, any route.", "counter")
-	pw.sample("geoserve_requests_total", nil, float64(s.varValue("requests")))
-	pw.family("geoserve_bad_requests_total", "Requests rejected with 400.", "counter")
-	pw.sample("geoserve_bad_requests_total", nil, float64(s.varValue("bad_requests")))
-	pw.family("geoserve_hostnames_total", "Hostnames submitted to /v1/geolocate.", "counter")
-	pw.sample("geoserve_hostnames_total", nil, float64(s.varValue("hostnames")))
-
-	s.promLatency(pw)
-	s.promIndex(pw)
-	s.promReload(pw)
-	s.promRoutes(pw)
-	s.promRuntime(pw)
-
-	// bufio latches the first write error and surfaces it here; a Flush
-	// failure means the scraper hung up mid-response.
-	//lint:ignore droppederr client gone mid-scrape; a failed exposition write has no one left to tell
-	pw.w.Flush()
+// promTotals renders the server-wide request counters.
+func (s *server) promTotals(pw *promexp.Writer) {
+	pw.Counter("geoserve_requests_total", "HTTP requests received, any route.",
+		float64(s.varValue("requests")))
+	pw.Counter("geoserve_bad_requests_total", "Requests rejected with 400.",
+		float64(s.varValue("bad_requests")))
+	pw.Counter("geoserve_hostnames_total", "Hostnames submitted to /v1/geolocate.",
+		float64(s.varValue("hostnames")))
 }
 
 // promLatency renders the request-duration histogram. The expvar
-// buckets count per-band observations; Prometheus buckets are
-// cumulative, so the running sum is emitted, ending at +Inf == _count.
-func (s *server) promLatency(pw *promWriter) {
-	const name = "geoserve_request_duration_seconds"
-	pw.family(name, "Latency of /v1/geolocate requests.", "histogram")
-	var cum int64
-	for _, b := range latencyBuckets {
-		cum += s.bucketValue(b.name)
-		le := strconv.FormatFloat(b.le.Seconds(), 'g', -1, 64)
-		pw.sample(name+"_bucket", labels("le", le), float64(cum))
+// buckets count per-band observations — exactly the shape
+// promexp.Writer.Histogram cumulates from.
+func (s *server) promLatency(pw *promexp.Writer) {
+	bounds := make([]float64, len(latencyBuckets))
+	counts := make([]int64, len(latencyBuckets)+1)
+	for i, b := range latencyBuckets {
+		bounds[i] = b.le.Seconds()
+		counts[i] = s.bucketValue(b.name)
 	}
-	cum += s.bucketValue(bucketInf)
-	pw.sample(name+"_bucket", labels("le", "+Inf"), float64(cum))
-	pw.sample(name+"_sum", nil, float64(s.latSumUS.Load())/1e6)
-	pw.sample(name+"_count", nil, float64(cum))
+	counts[len(latencyBuckets)] = s.bucketValue(bucketInf)
+	pw.Histogram("geoserve_request_duration_seconds", "Latency of /v1/geolocate requests.",
+		bounds, counts, float64(s.latSumUS.Load())/1e6)
 }
 
 // promIndex renders the lookup index's counters, including the
@@ -69,7 +64,7 @@ func (s *server) promLatency(pw *promWriter) {
 // counters belong to the current generation's index: a reload swaps in
 // a fresh index whose counters start at zero (generation is exported so
 // scrapes can attribute the reset).
-func (s *server) promIndex(pw *promWriter) {
+func (s *server) promIndex(pw *promexp.Writer) {
 	st := s.live.Index().Stats()
 	for _, c := range []struct {
 		name, help string
@@ -81,33 +76,32 @@ func (s *server) promIndex(pw *promWriter) {
 		{"geoserve_index_matched_total", "Lookups that matched a convention.", st.Matched},
 		{"geoserve_index_unmatched_total", "Lookups no convention matched.", st.Unmatched},
 	} {
-		pw.family(c.name, c.help, "counter")
-		pw.sample(c.name, nil, float64(c.v))
+		pw.Counter(c.name, c.help, float64(c.v))
 	}
-	pw.family("geoserve_index_suffix_matches_total", "Matches per convention suffix.", "counter")
-	for _, k := range sortedKeys(st.BySuffix) {
-		pw.sample("geoserve_index_suffix_matches_total", labels("suffix", k), float64(st.BySuffix[k]))
+	pw.Family("geoserve_index_suffix_matches_total", "Matches per convention suffix.", "counter")
+	for _, k := range promexp.SortedKeys(st.BySuffix) {
+		pw.Sample("geoserve_index_suffix_matches_total", promexp.Labels("suffix", k), float64(st.BySuffix[k]))
 	}
-	pw.family("geoserve_index_class_matches_total", "Matches per convention classification.", "counter")
-	for _, k := range sortedKeys(st.ByClass) {
-		pw.sample("geoserve_index_class_matches_total", labels("class", k), float64(st.ByClass[k]))
+	pw.Family("geoserve_index_class_matches_total", "Matches per convention classification.", "counter")
+	for _, k := range promexp.SortedKeys(st.ByClass) {
+		pw.Sample("geoserve_index_class_matches_total", promexp.Labels("class", k), float64(st.ByClass[k]))
 	}
 }
 
 // promReload renders the hot-reload lifecycle: the serving generation,
 // reload outcome counters, and the latest build/swap latencies.
-func (s *server) promReload(pw *promWriter) {
+func (s *server) promReload(pw *promexp.Writer) {
 	rm := s.reloadMetrics()
-	pw.family("geoserve_index_generation", "Serving index generation (1 = boot index, +1 per swap).", "gauge")
-	pw.sample("geoserve_index_generation", nil, float64(rm.Generation))
-	pw.family("geoserve_reloads_total", "Successful index reloads (SIGHUP or /v1/admin/reload).", "counter")
-	pw.sample("geoserve_reloads_total", nil, float64(rm.Reloads))
-	pw.family("geoserve_reload_failures_total", "Reload attempts rejected before the swap.", "counter")
-	pw.sample("geoserve_reload_failures_total", nil, float64(rm.Failures))
-	pw.family("geoserve_reload_build_seconds", "Replacement-index build time of the last successful reload.", "gauge")
-	pw.sample("geoserve_reload_build_seconds", nil, float64(rm.LastBuildUS)/1e6)
-	pw.family("geoserve_reload_swap_seconds", "Validate+swap time of the last successful reload.", "gauge")
-	pw.sample("geoserve_reload_swap_seconds", nil, float64(rm.LastSwapUS)/1e6)
+	pw.Gauge("geoserve_index_generation", "Serving index generation (1 = boot index, +1 per swap).",
+		float64(rm.Generation))
+	pw.Counter("geoserve_reloads_total", "Successful index reloads (SIGHUP or /v1/admin/reload).",
+		float64(rm.Reloads))
+	pw.Counter("geoserve_reload_failures_total", "Reload attempts rejected before the swap.",
+		float64(rm.Failures))
+	pw.Gauge("geoserve_reload_build_seconds", "Replacement-index build time of the last successful reload.",
+		float64(rm.LastBuildUS)/1e6)
+	pw.Gauge("geoserve_reload_swap_seconds", "Validate+swap time of the last successful reload.",
+		float64(rm.LastSwapUS)/1e6)
 }
 
 // promRoutes renders the per-route span aggregates: request counts,
@@ -117,69 +111,81 @@ func (s *server) promReload(pw *promWriter) {
 // main shares it with the learning run). Span-name ("stage") rows are
 // exported too — lookup-batch, geoloc-compile, http — so index and
 // pipeline cost is scrapeable.
-func (s *server) promRoutes(pw *promWriter) {
+func (s *server) promRoutes(pw *promexp.Writer) {
 	sum := s.tracer.Summary()
 	registered := make(map[string]obs.SummaryRow, len(s.patterns))
 	for _, row := range sum.Keys {
 		registered[row.Name] = row
 	}
-	pw.family("geoserve_route_requests_total", "Requests handled per route.", "counter")
+	pw.Family("geoserve_route_requests_total", "Requests handled per route.", "counter")
 	for _, pattern := range s.patterns {
 		if row, ok := registered[pattern]; ok {
-			pw.sample("geoserve_route_requests_total", labels("route", pattern), float64(row.Count))
+			pw.Sample("geoserve_route_requests_total", promexp.Labels("route", pattern), float64(row.Count))
 		}
 	}
-	pw.family("geoserve_route_seconds_total", "Cumulative handler time per route.", "counter")
+	pw.Family("geoserve_route_seconds_total", "Cumulative handler time per route.", "counter")
 	for _, pattern := range s.patterns {
 		if row, ok := registered[pattern]; ok {
-			pw.sample("geoserve_route_seconds_total", labels("route", pattern), float64(row.TotalUS)/1e6)
+			pw.Sample("geoserve_route_seconds_total", promexp.Labels("route", pattern), float64(row.TotalUS)/1e6)
 		}
 	}
-	pw.family("geoserve_route_status_total", "Responses per route and status class.", "counter")
+	pw.Family("geoserve_route_status_total", "Responses per route and status class.", "counter")
 	for _, pattern := range s.patterns {
 		row, ok := registered[pattern]
 		if !ok {
 			continue
 		}
-		for _, counter := range sortedKeys(row.Counters) {
+		for _, counter := range promexp.SortedKeys(row.Counters) {
 			class, ok := strings.CutPrefix(counter, "status_")
 			if !ok {
 				continue
 			}
-			pw.sample("geoserve_route_status_total",
-				append(labels("route", pattern), [2]string{"class", class}),
+			pw.Sample("geoserve_route_status_total",
+				promexp.Labels("route", pattern, "class", class),
 				float64(row.Counters[counter]))
 		}
 	}
-	pw.family("geoserve_span_count_total", "Finished spans per stage.", "counter")
+	pw.Family("geoserve_span_count_total", "Finished spans per stage.", "counter")
 	for _, row := range sum.Stages {
-		pw.sample("geoserve_span_count_total", labels("span", row.Name), float64(row.Count))
+		pw.Sample("geoserve_span_count_total", promexp.Labels("span", row.Name), float64(row.Count))
 	}
-	pw.family("geoserve_span_seconds_total", "Cumulative span time per stage.", "counter")
+	pw.Family("geoserve_span_seconds_total", "Cumulative span time per stage.", "counter")
 	for _, row := range sum.Stages {
-		pw.sample("geoserve_span_seconds_total", labels("span", row.Name), float64(row.TotalUS)/1e6)
+		pw.Sample("geoserve_span_seconds_total", promexp.Labels("span", row.Name), float64(row.TotalUS)/1e6)
 	}
+}
+
+// promQlog renders the query-log counters. Nothing is emitted when the
+// log is disabled — absent families read unambiguously as "off".
+func (s *server) promQlog(pw *promexp.Writer) {
+	if !s.qlog.Enabled() {
+		return
+	}
+	st := s.qlog.Stats()
+	pw.Counter("geoserve_qlog_records_total", "Query-log records written.", float64(st.Logged))
+	pw.Counter("geoserve_qlog_sampled_out_total", "Queries skipped by the sampling rate.", float64(st.Skipped))
+	pw.Counter("geoserve_qlog_rotations_total", "Query-log file rotations.", float64(st.Rotations))
 }
 
 // promRuntime renders the newest runtime-telemetry sample as gauges.
 // Nothing is emitted when the sampler is off (families with no samples
 // are omitted entirely, per the format).
-func (s *server) promRuntime(pw *promWriter) {
+func (s *server) promRuntime(pw *promexp.Writer) {
 	samples := s.tracer.RuntimeSamples()
 	if len(samples) == 0 {
 		return
 	}
 	latest := samples[len(samples)-1]
-	pw.family("geoserve_runtime_heap_bytes", "Heap bytes in use at the last runtime sample.", "gauge")
-	pw.sample("geoserve_runtime_heap_bytes", nil, float64(latest.HeapBytes))
-	pw.family("geoserve_runtime_goroutines", "Goroutines at the last runtime sample.", "gauge")
-	pw.sample("geoserve_runtime_goroutines", nil, float64(latest.Goroutines))
-	pw.family("geoserve_runtime_gc_pause_seconds", "GC pause quantiles at the last runtime sample.", "gauge")
-	pw.sample("geoserve_runtime_gc_pause_seconds", labels("quantile", "0.5"), latest.GCPauseP50US/1e6)
-	pw.sample("geoserve_runtime_gc_pause_seconds", labels("quantile", "0.99"), latest.GCPauseP99US/1e6)
-	pw.family("geoserve_runtime_sched_latency_seconds", "Scheduler latency quantiles at the last runtime sample.", "gauge")
-	pw.sample("geoserve_runtime_sched_latency_seconds", labels("quantile", "0.5"), latest.SchedLatP50US/1e6)
-	pw.sample("geoserve_runtime_sched_latency_seconds", labels("quantile", "0.99"), latest.SchedLatP99US/1e6)
+	pw.Gauge("geoserve_runtime_heap_bytes", "Heap bytes in use at the last runtime sample.",
+		float64(latest.HeapBytes))
+	pw.Gauge("geoserve_runtime_goroutines", "Goroutines at the last runtime sample.",
+		float64(latest.Goroutines))
+	pw.Family("geoserve_runtime_gc_pause_seconds", "GC pause quantiles at the last runtime sample.", "gauge")
+	pw.Sample("geoserve_runtime_gc_pause_seconds", promexp.Labels("quantile", "0.5"), latest.GCPauseP50US/1e6)
+	pw.Sample("geoserve_runtime_gc_pause_seconds", promexp.Labels("quantile", "0.99"), latest.GCPauseP99US/1e6)
+	pw.Family("geoserve_runtime_sched_latency_seconds", "Scheduler latency quantiles at the last runtime sample.", "gauge")
+	pw.Sample("geoserve_runtime_sched_latency_seconds", promexp.Labels("quantile", "0.5"), latest.SchedLatP50US/1e6)
+	pw.Sample("geoserve_runtime_sched_latency_seconds", promexp.Labels("quantile", "0.99"), latest.SchedLatP99US/1e6)
 }
 
 // varValue reads one expvar counter from the server map.
@@ -188,63 +194,4 @@ func (s *server) varValue(name string) int64 {
 		return v.Value()
 	}
 	return 0
-}
-
-// promWriter emits exposition-format lines.
-type promWriter struct {
-	w *bufio.Writer
-}
-
-// family writes the HELP/TYPE header for a metric family.
-func (p *promWriter) family(name, help, typ string) {
-	fmt.Fprintf(p.w, "# HELP %s %s\n", name, escapeHelp(help))
-	fmt.Fprintf(p.w, "# TYPE %s %s\n", name, typ)
-}
-
-// sample writes one sample line with optional labels.
-func (p *promWriter) sample(name string, lbls [][2]string, value float64) {
-	p.w.WriteString(name)
-	if len(lbls) > 0 {
-		p.w.WriteByte('{')
-		for i, l := range lbls {
-			if i > 0 {
-				p.w.WriteByte(',')
-			}
-			fmt.Fprintf(p.w, `%s="%s"`, l[0], escapeLabel(l[1]))
-		}
-		p.w.WriteByte('}')
-	}
-	fmt.Fprintf(p.w, " %s\n", strconv.FormatFloat(value, 'g', -1, 64))
-}
-
-// labels builds a single-label slice (append more pairs as needed).
-func labels(k, v string) [][2]string {
-	return [][2]string{{k, v}}
-}
-
-// escapeLabel escapes a label value per the exposition format:
-// backslash, double quote, and newline.
-func escapeLabel(v string) string {
-	v = strings.ReplaceAll(v, `\`, `\\`)
-	v = strings.ReplaceAll(v, `"`, `\"`)
-	v = strings.ReplaceAll(v, "\n", `\n`)
-	return v
-}
-
-// escapeHelp escapes a HELP text: backslash and newline (quotes are
-// legal there).
-func escapeHelp(v string) string {
-	v = strings.ReplaceAll(v, `\`, `\\`)
-	v = strings.ReplaceAll(v, "\n", `\n`)
-	return v
-}
-
-// sortedKeys returns m's keys sorted, for deterministic exposition.
-func sortedKeys[V any](m map[string]V) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
 }

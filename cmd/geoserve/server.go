@@ -12,9 +12,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hoiho/internal/buildinfo"
 	"hoiho/internal/core"
 	"hoiho/internal/geoloc"
 	"hoiho/internal/obs"
+	"hoiho/internal/promexp"
+	"hoiho/internal/qlog"
 )
 
 // maxBatch bounds one POST /v1/geolocate request; larger workloads
@@ -42,8 +45,10 @@ type server struct {
 	vars     *expvar.Map // requests, bad_requests, hostnames by endpoint
 	latency  *expvar.Map // /v1/geolocate latency histogram buckets
 	latSumUS atomic.Int64
-	tracer   *obs.Tracer // aggregate-only: per-route spans for /metrics
-	patterns []string    // registered route patterns, in registration order
+	tracer   *obs.Tracer       // aggregate-only: per-route spans for /metrics
+	prom     *promexp.Registry // /metrics/prom collectors, shared dialect with geodns
+	qlog     *qlog.Logger      // sampled query log; nil (disabled) unless -qlog
+	patterns []string          // registered route patterns, in registration order
 	start    time.Time
 
 	// Reload bookkeeping: one reload at a time; counters feed /metrics.
@@ -77,7 +82,10 @@ func newTracedServer(ix *geoloc.Index, tr *obs.Tracer) *server {
 		s.latency.Add(b.name, 0)
 	}
 	s.latency.Add(bucketInf, 0)
+	s.prom = s.newPromRegistry()
 	s.route("POST /v1/geolocate", s.handleGeolocate)
+	s.route("GET /v1/explain", s.handleExplain)
+	s.route("POST /v1/explain", s.handleExplain)
 	s.route("POST /v1/admin/reload", s.handleReload)
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /metrics", s.handleMetrics)
@@ -98,6 +106,13 @@ func (s *server) enableReload(src *geoloc.Source, opts geoloc.Options) {
 	s.src, s.ixOpts = src, opts
 }
 
+// enableQlog attaches the sampled query log. Must be called before the
+// server handles traffic; a nil logger leaves logging disabled at zero
+// cost (every qlog call on the request path is a nil-receiver no-op).
+func (s *server) enableQlog(l *qlog.Logger) {
+	s.qlog = l
+}
+
 // route registers a handler wrapped in an "http" span keyed by the
 // route pattern, feeding the per-route section of /metrics. The span
 // also counts the response's status class (2xx/4xx/5xx), captured by a
@@ -109,18 +124,51 @@ func (s *server) route(pattern string, h http.HandlerFunc) {
 		sp := s.tracer.Start("http")
 		sp.SetKey(pattern)
 		sp.Count("requests", 1)
+		// With -qlog on, every request gets an id stamped on both its
+		// span and its query-log record, so a slow span in a trace joins
+		// against the access-log line that caused it. With qlog disabled
+		// NextID returns "" and neither side allocates.
+		id := s.qlog.NextID()
+		if id != "" {
+			sp.SetAttr("request_id", id)
+		}
+		t0 := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
 		sp.Count("status_"+statusClass(sw.code), 1)
 		sp.End()
+		s.qlog.Log(qlog.Record{
+			Front:      "http",
+			Op:         pattern,
+			ID:         id,
+			Hostname:   sw.hostname,
+			Source:     r.RemoteAddr,
+			Status:     sw.code,
+			Outcome:    statusClass(sw.code),
+			DurUS:      int64(time.Since(t0) / time.Microsecond),
+			Generation: s.live.Generation(),
+		})
 	})
 }
 
 // statusWriter captures the status code a handler writes (200 when the
-// handler never calls WriteHeader explicitly).
+// handler never calls WriteHeader explicitly) and carries the looked-up
+// hostname back out to the query-log record for single-hostname ops
+// (set via logHostname; batch requests leave it empty).
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code     int
+	hostname string
+}
+
+// logHostname records the hostname a single-lookup handler served, so
+// the route middleware's query-log record carries it. A no-op when the
+// middleware did not wrap the writer (profiling routes, tests driving
+// handlers directly).
+func logHostname(w http.ResponseWriter, hostname string) {
+	if sw, ok := w.(*statusWriter); ok {
+		sw.hostname = hostname
+	}
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -278,6 +326,7 @@ func (s *server) handleGeolocate(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("batch exceeds %d hostnames", maxBatch))
 	case single:
 		s.vars.Add("hostnames", 1)
+		logHostname(w, req.Hostname)
 		g, _ := ix.Lookup(req.Hostname)
 		writeJSON(w, http.StatusOK, toResult(req.Hostname, g))
 	default:
@@ -290,12 +339,60 @@ func (s *server) handleGeolocate(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// explainRequest is the POST /v1/explain body; GET passes ?hostname=.
+type explainRequest struct {
+	Hostname string `json:"hostname"`
+}
+
+// handleExplain serves the full decision trace for one hostname: why
+// it resolved where it did (or didn't) — suffix dispatch, every regex
+// tried, overlay-vs-dictionary resolution, and the convention's
+// published PPV evidence. JSON by default; `?format=text` returns the
+// same deterministic report `hoiho -explain` prints.
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var hostname string
+	if r.Method == http.MethodGet {
+		hostname = r.URL.Query().Get("hostname")
+	} else {
+		var req explainRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			s.writeError(w, http.StatusBadRequest, "malformed_request",
+				fmt.Sprintf("malformed request: %v", err))
+			return
+		}
+		hostname = req.Hostname
+	}
+	if hostname == "" {
+		s.writeError(w, http.StatusBadRequest, "invalid_request",
+			`"hostname" is required`)
+		return
+	}
+	logHostname(w, hostname)
+	ex := s.live.Index().Explain(hostname)
+	switch f := r.URL.Query().Get("format"); f {
+	case "", "json":
+		writeJSON(w, http.StatusOK, ex)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		//lint:ignore droppederr the status line is already on the wire; a write failure means the client hung up
+		w.Write([]byte(ex.Text()))
+	default:
+		s.writeError(w, http.StatusBadRequest, "unknown_format",
+			fmt.Sprintf("unknown format %q (want json or text)", f))
+	}
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	info := buildinfo.Read()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":     "ok",
 		"suffixes":   s.live.Index().Len(),
 		"generation": s.live.Generation(),
 		"uptime_s":   int64(time.Since(s.start).Seconds()),
+		"commit":     info.Commit,
+		"go_version": info.GoVersion,
 	})
 }
 

@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+
+	"hoiho/internal/buildinfo"
 	"path/filepath"
 
 	"hoiho/internal/core"
@@ -35,7 +37,12 @@ func main() {
 		"verify the source instead of writing: checksums, format version, and a full index compile")
 	usableOnly := flag.Bool("usable-only", false,
 		"snapshot only good/promising conventions (the paper's production recommendation)")
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "geosnap")
+		return
+	}
 	if _, err := src.Kind(); err != nil {
 		fmt.Fprintln(os.Stderr, "geosnap:", err)
 		flag.Usage()

@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+
+	"hoiho/internal/buildinfo"
 	"path/filepath"
 	"sort"
 
@@ -33,7 +35,12 @@ func main() {
 	out := flag.String("out", "", "output directory (required)")
 	seed := flag.Int64("seed", 0, "override the preset's seed (0 = keep)")
 	keepSpoofers := flag.Bool("keep-spoofers", false, "do not filter TCP-spoofing vantage points")
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "geosynth")
+		return
+	}
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "geosynth: -out is required")
 		flag.Usage()

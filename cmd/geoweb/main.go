@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"hoiho/internal/buildinfo"
 	"hoiho/internal/core"
 	"hoiho/internal/webgen"
 )
@@ -22,7 +23,12 @@ func main() {
 	ncFile := flag.String("nc", "", "published conventions file (required)")
 	out := flag.String("out", "", "output directory (required)")
 	title := flag.String("title", "Hoiho naming conventions", "site title")
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "geoweb")
+		return
+	}
 	if *ncFile == "" || *out == "" {
 		fmt.Fprintln(os.Stderr, "geoweb: -nc and -out are required")
 		flag.Usage()

@@ -10,7 +10,16 @@
 //	hoiho -corpus data/aug2020 -write-nc conventions.txt
 //	hoiho -nc conventions.txt -geolocate host      # apply without a corpus
 //	hoiho -snapshot index.snap -geolocate host     # apply a compiled snapshot
+//	hoiho -nc conventions.txt -explain host        # full decision trace
 //	hoiho -corpus data/aug2020 -trace out.jsonl -tracesummary   # profile the run
+//
+// -explain prints the complete decision trace for one hostname: the
+// suffix dispatch, every candidate regex tried in order, the
+// extraction, whether the hint resolved through the learned overlay or
+// the dictionary, and the final geohint with the convention's PPV
+// evidence — the CLI twin of geoserve's /v1/explain endpoint.
+// -explain-json renders the same trace as the /v1/explain JSON
+// document. -version prints build info and exits.
 //
 // The -corpus directory must contain corpus.nodes, corpus.names, and
 // rtt.matrix (corpus.geo is optional and ignored by learning). A
@@ -24,6 +33,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/netip"
@@ -35,6 +45,7 @@ import (
 	"time"
 
 	"hoiho/internal/asn"
+	"hoiho/internal/buildinfo"
 	"hoiho/internal/core"
 	"hoiho/internal/geoloc"
 	"hoiho/internal/names"
@@ -49,13 +60,20 @@ func main() {
 	showASN := flag.Bool("asn", false, "also learn and print ASN conventions (needs asn.map)")
 	onlySuffix := flag.String("suffix", "", "report only this suffix")
 	locate := flag.String("geolocate", "", "after learning, geolocate this hostname")
+	explainHost := flag.String("explain", "", "print the full decision trace for this hostname")
+	explainJSON := flag.Bool("explain-json", false, "render -explain as the /v1/explain JSON document")
 	usableOnly := flag.Bool("usable-only", false, "print only good/promising conventions")
 	traceOut := flag.String("trace", "", "write a JSONL span trace of the run to this file")
 	traceSummary := flag.Bool("tracesummary", false,
 		"print the aggregated per-stage/per-suffix span table to stderr")
 	runtimeStats := flag.Bool("runtimestats", false,
 		"sample runtime telemetry (heap, goroutines, GC pauses) during the run and print it to stderr")
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "hoiho")
+		return
+	}
 	if _, err := src.Kind(); err != nil {
 		fmt.Fprintln(os.Stderr, "hoiho:", err)
 		flag.Usage()
@@ -174,6 +192,19 @@ func main() {
 		}
 		fmt.Printf("\n%s -> %s via %s %q%s at %s\n",
 			*locate, g.Loc.String(), g.Type, g.Hint, learned, g.Loc.Pos)
+	}
+
+	if *explainHost != "" {
+		ex := resolved.Index.Explain(*explainHost)
+		if *explainJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetEscapeHTML(false)
+			if err := enc.Encode(ex); err != nil {
+				fatal(err)
+			}
+		} else {
+			fmt.Print(ex.Text())
+		}
 	}
 
 	if *traceOut != "" {

@@ -32,6 +32,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"hoiho/internal/buildinfo"
 	"strings"
 
 	"hoiho/internal/lint"
@@ -44,7 +46,12 @@ func main() {
 	sarif := flag.Bool("sarif", false, "write a SARIF 2.1.0 report instead of human-readable lines")
 	jsonOut := flag.Bool("json", false, "write a JSON diagnostic array instead of human-readable lines")
 	outPath := flag.String("o", "", "write the report to this file (default stdout)")
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "hoiholint")
+		return
+	}
 
 	if *sarif && *jsonOut {
 		fatal(fmt.Errorf("-sarif and -json are mutually exclusive"))

@@ -2,16 +2,19 @@ package hoiho_bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"hoiho/internal/core"
 	"hoiho/internal/geoloc"
 	"hoiho/internal/itdk"
 	"hoiho/internal/obs"
+	"hoiho/internal/qlog"
 	"hoiho/internal/rtt"
 	"hoiho/internal/synth"
 )
@@ -151,6 +154,80 @@ func diffSummary(want, got []byte) string {
 	return fmt.Sprintf("line counts differ: want %d lines, got %d", len(wl), len(gl))
 }
 
+// explainProbes is the fixed hostname set behind the explain golden,
+// one per decision shape: a learned CLLI overlay, a learned IATA
+// overlay, a dictionary place resolution, a dictionary CLLI
+// resolution, a convention whose regexes all miss, and a suffix no
+// convention covers.
+var explainProbes = []string{
+	"ge-0-1.core4.lsbn-pt.coreband.net.au",
+	"te0-0-2.gw3.trr.us.fiberlink.net",
+	"et-2-1-0.zagreb.hr.backhaul.co.uk",
+	"as64929-acme.et-2-1-0.r02.hlsnfn.fi.bb.interpath.net",
+	"ptr-207.interpath.net",
+	"host.unknown.example.org",
+}
+
+// renderExplainGolden learns from the committed corpus (one worker, so
+// the run is fully sequential) and renders every probe's decision
+// trace in both shapes — the hoiho -explain text report and the
+// /v1/explain JSON document — into one byte-stable report.
+func renderExplainGolden(t *testing.T) []byte {
+	t.Helper()
+	in, err := geoloc.LoadInputs(goldenDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Workers = 1
+	res, err := core.Run(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := geoloc.New(res, geoloc.Options{Dict: in.Dict, PSL: in.PSL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, host := range explainProbes {
+		ex := ix.Explain(host)
+		js, err := json.Marshal(ex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&buf, "== %s\n%sjson: %s\n\n", host, ex.Text(), js)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenExplain pins the explain surface end to end: the decision
+// traces for the probe set — text and JSON — must match the committed
+// report byte-for-byte, and two renderings within one run must agree,
+// so serving /v1/explain and hoiho -explain give byte-identical output
+// across runs. Regenerate with -update after an intentional change.
+func TestGoldenExplain(t *testing.T) {
+	goldenPath := filepath.Join(goldenDir, "explain.txt")
+	got := renderExplainGolden(t)
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s; commit it if the change is intentional", goldenPath)
+		return
+	}
+	if again := renderExplainGolden(t); !bytes.Equal(got, again) {
+		t.Fatalf("explain report differs between two identical runs\n%s", diffSummary(got, again))
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing explain golden (run `go test -run TestGoldenExplain -update`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("explain traces drifted from %s\n%s\n(if intentional, regenerate with -update)",
+			goldenPath, diffSummary(want, got))
+	}
+}
+
 // TestGoldenTraceDeterministic locks down the trace export contract:
 // two traced runs of the committed corpus — frozen clock, sequential
 // worker so worker attribution is fixed — emit byte-identical JSONL.
@@ -190,5 +267,85 @@ func TestGoldenTraceDeterministic(t *testing.T) {
 	second := trace()
 	if !bytes.Equal(first, second) {
 		t.Fatalf("trace JSONL differs between two identical runs\n%s", diffSummary(first, second))
+	}
+}
+
+// renderQlogGolden drives the golden probe set through a sampled,
+// frozen-clock query log over the golden index and returns the JSONL
+// bytes. Sample: 2 on purpose — the artifact proves the deterministic
+// counter-based sampler keeps the same records every run, not just
+// that an unsampled log is stable.
+func renderQlogGolden(t *testing.T) []byte {
+	t.Helper()
+	in, err := geoloc.LoadInputs(goldenDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Workers = 1
+	res, err := core.Run(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := geoloc.New(res, geoloc.Options{Dict: in.Dict, PSL: in.PSL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	ql, err := qlog.New(qlog.Options{
+		W:      &buf,
+		Sample: 2,
+		Clock:  func() time.Time { return time.UnixMicro(1600000000000000).UTC() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, host := range explainProbes {
+		r := qlog.Record{
+			Front:    "http",
+			Op:       "GET /v1/geolocate",
+			ID:       ql.NextID(),
+			Hostname: host,
+			Status:   200,
+			Outcome:  "miss",
+		}
+		if _, ok := ix.Lookup(host); ok {
+			r.Outcome = "ok"
+		}
+		ql.Log(r)
+	}
+	if err := ql.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenQueryLogDeterministic locks down the query-log contract
+// the same way TestGoldenTraceDeterministic does for spans: a frozen
+// clock plus the counter-based sampler make two identical runs emit
+// byte-identical JSONL. When HOIHO_GOLDEN_QLOG is set the first log is
+// written there (CI uploads it next to the golden trace on failure).
+func TestGoldenQueryLogDeterministic(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden regeneration run")
+	}
+	first := renderQlogGolden(t)
+	if len(first) == 0 {
+		t.Fatal("query log of the golden probes is empty")
+	}
+	if out := os.Getenv("HOIHO_GOLDEN_QLOG"); out != "" {
+		if err := os.WriteFile(out, first, 0o644); err != nil {
+			t.Fatalf("writing qlog artifact: %v", err)
+		}
+	}
+	second := renderQlogGolden(t)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("query log differs between two identical runs\n%s", diffSummary(first, second))
+	}
+	// The sampler must actually have dropped records — half the probe
+	// set at Sample: 2 — or the artifact proves less than it claims.
+	if got := bytes.Count(first, []byte("\n")); got != (len(explainProbes)+1)/2 {
+		t.Fatalf("sampled log has %d lines, want %d of %d probes",
+			got, (len(explainProbes)+1)/2, len(explainProbes))
 	}
 }

@@ -68,7 +68,12 @@ type Benchmark struct {
 	// counts are deterministic per iteration, unlike wall time).
 	AllocsPerOp int64 `json:"allocs_per_op"`
 	BytesPerOp  int64 `json:"bytes_per_op"`
-	// Metrics carries testing.B.ReportMetric extras (workers, hostnames).
+	// Metrics carries testing.B.ReportMetric extras (workers, hostnames,
+	// p99_us, ...). Comparison policy: extras are context, not gates —
+	// Compare reports their movement as informational notes on the
+	// benchmark's Delta but never turns one into a Regression verdict,
+	// because extras have no per-repeat samples (only the last repeat's
+	// value survives) and so no noise model to gate against.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 

@@ -219,3 +219,52 @@ func TestFormatDeltas(t *testing.T) {
 		}
 	}
 }
+
+// TestCompareMetricExtrasNeverGate pins the extras policy documented on
+// Benchmark.Metrics: a ReportMetric value moving arbitrarily — even a
+// 10x p99_us blowup — surfaces as an informational note, never as a
+// Regression verdict; one-sided extras are noted as added or removed.
+func TestCompareMetricExtrasNeverGate(t *testing.T) {
+	base := sampleFile(1)
+	base.Benchmarks[0].Metrics = map[string]float64{"p99_us": 100, "workers": 4, "gone": 1}
+	cand := sampleFile(1)
+	cand.Benchmarks[0].Metrics = map[string]float64{"p99_us": 1000, "workers": 4, "fresh": 2}
+
+	deltas, regressed := Compare(base, cand, 0)
+	if regressed {
+		t.Fatal("metric extras must never produce a Regression verdict")
+	}
+	var d *Delta
+	for i := range deltas {
+		if deltas[i].Name == "CoreRunParallel" {
+			d = &deltas[i]
+		}
+	}
+	if d == nil || d.Verdict != Ok {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	want := []string{
+		"fresh: added (2)",
+		"gone: removed (was 1)",
+		"p99_us: 100 -> 1000 (+900.0%)",
+		"workers: 4 (unchanged)",
+	}
+	if len(d.Notes) != len(want) {
+		t.Fatalf("notes = %v, want %v", d.Notes, want)
+	}
+	for i, n := range want {
+		if d.Notes[i] != n {
+			t.Errorf("note %d = %q, want %q", i, d.Notes[i], n)
+		}
+	}
+
+	// The notes ride along in the rendered table, indented under their
+	// benchmark's row.
+	var buf bytes.Buffer
+	if err := FormatDeltas(&buf, deltas); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "metric p99_us: 100 -> 1000 (+900.0%)") {
+		t.Errorf("formatted deltas missing metric note:\n%s", buf.String())
+	}
+}

@@ -31,6 +31,11 @@ type Delta struct {
 	Ratio   float64 // Cand/Base (0 when either side is missing)
 	NoiseNs float64 // combined noise bound, ns
 	Verdict Verdict
+	// Notes describes ReportMetric extras (see Benchmark.Metrics):
+	// per-metric movement between the two records, informational only —
+	// a note never makes the verdict a Regression, because extras carry
+	// no per-repeat samples and so no noise bound to gate against.
+	Notes []string
 }
 
 // DefaultThreshold is the relative slowdown that counts as a
@@ -94,10 +99,51 @@ func Compare(baseline, candidate *File, threshold float64) ([]Delta, bool) {
 			if d.Verdict == Regression {
 				regressed = true
 			}
+			d.Notes = metricNotes(b.Metrics, c.Metrics)
 		}
 		deltas = append(deltas, d)
 	}
 	return deltas, regressed
+}
+
+// metricNotes renders the movement of ReportMetric extras between two
+// records, sorted by metric name. Extras present on only one side are
+// noted as added or removed; shared extras get their relative change.
+// These notes are deliberately advisory — see Benchmark.Metrics.
+func metricNotes(base, cand map[string]float64) []string {
+	if len(base) == 0 && len(cand) == 0 {
+		return nil
+	}
+	seen := make(map[string]bool, len(base)+len(cand))
+	var keys []string
+	for k := range base {
+		seen[k] = true
+		keys = append(keys, k)
+	}
+	for k := range cand {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	notes := make([]string, 0, len(keys))
+	for _, k := range keys {
+		bv, inBase := base[k]
+		cv, inCand := cand[k]
+		switch {
+		case !inBase:
+			notes = append(notes, fmt.Sprintf("%s: added (%g)", k, cv))
+		case !inCand:
+			notes = append(notes, fmt.Sprintf("%s: removed (was %g)", k, bv))
+		case bv == cv:
+			notes = append(notes, fmt.Sprintf("%s: %g (unchanged)", k, bv))
+		case bv != 0:
+			notes = append(notes, fmt.Sprintf("%s: %g -> %g (%+.1f%%)", k, bv, cv, 100*(cv-bv)/bv))
+		default:
+			notes = append(notes, fmt.Sprintf("%s: %g -> %g", k, bv, cv))
+		}
+	}
+	return notes
 }
 
 // verdict applies the two-gate rule: relative threshold AND noise bound.
@@ -136,6 +182,11 @@ func FormatDeltas(w io.Writer, deltas []Delta) error {
 		if _, err := fmt.Fprintf(w, "%-*s  %14s  %14s  %8s  %s\n",
 			nameW, d.Name, fmtNs(d.Base), fmtNs(d.Cand), ratio, d.Verdict); err != nil {
 			return err
+		}
+		for _, note := range d.Notes {
+			if _, err := fmt.Fprintf(w, "%-*s    metric %s\n", nameW, "", note); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

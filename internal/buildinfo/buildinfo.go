@@ -1,0 +1,61 @@
+// Package buildinfo reads the binary's own build provenance — VCS
+// commit, dirty flag, go toolchain version — from the metadata the go
+// tool already embeds (debug.ReadBuildInfo). Every cmd/ binary prints
+// it under -version, and the daemons stamp it into /healthz so an
+// operator can tell which build answered without shelling into the
+// host. No build-time ldflags are involved: the zero-configuration
+// path works for `go build`, `go run`, and `go test` alike.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the provenance snapshot of the running binary.
+type Info struct {
+	// GoVersion is the toolchain that built the binary (runtime.Version).
+	GoVersion string `json:"go_version"`
+	// Commit is the VCS revision, or "unknown" when the binary was built
+	// outside a checkout (or with -buildvcs=false).
+	Commit string `json:"commit"`
+	// Dirty reports uncommitted changes at build time.
+	Dirty bool `json:"dirty,omitempty"`
+	// Module is the main module path ("hoiho").
+	Module string `json:"module,omitempty"`
+}
+
+// Read assembles the Info for the current binary. It never fails: when
+// build metadata is unavailable the commit reads "unknown" and the go
+// version still comes from the runtime.
+func Read() Info {
+	info := Info{GoVersion: runtime.Version(), Commit: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.Module = bi.Main.Path
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Commit = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// Print writes the one-line -version output every cmd/ binary shares:
+//
+//	hoiho version commit 3a33fd0... (go1.22.0)
+func Print(w io.Writer, binary string) {
+	info := Read()
+	commit := info.Commit
+	if info.Dirty {
+		commit += "+dirty"
+	}
+	fmt.Fprintf(w, "%s version commit %s (%s)\n", binary, commit, info.GoVersion)
+}

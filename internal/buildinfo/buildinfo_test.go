@@ -1,0 +1,37 @@
+package buildinfo
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestRead: the go version always comes from the runtime; the commit
+// never renders empty (it is "unknown" outside a VCS build — the test
+// binary's own case).
+func TestRead(t *testing.T) {
+	info := Read()
+	if info.GoVersion != runtime.Version() {
+		t.Errorf("GoVersion = %q, want %q", info.GoVersion, runtime.Version())
+	}
+	if info.Commit == "" {
+		t.Error("Commit is empty, want a revision or \"unknown\"")
+	}
+}
+
+// TestPrint pins the -version line shape shared by every binary.
+func TestPrint(t *testing.T) {
+	var buf bytes.Buffer
+	Print(&buf, "geoserve")
+	out := buf.String()
+	if !strings.HasPrefix(out, "geoserve version commit ") {
+		t.Errorf("Print = %q", out)
+	}
+	if !strings.Contains(out, runtime.Version()) {
+		t.Errorf("Print omits go version: %q", out)
+	}
+	if !strings.HasSuffix(out, ")\n") {
+		t.Errorf("Print not newline-terminated: %q", out)
+	}
+}

@@ -32,6 +32,7 @@ type limiter struct {
 
 	mu      sync.Mutex
 	buckets map[netip.Addr]*bucket
+	evicted uint64 // buckets dropped by capacity sweeps, lifetime
 }
 
 type bucket struct {
@@ -91,6 +92,18 @@ func (l *limiter) sweep(now time.Time) {
 	for src, b := range l.buckets {
 		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
 			delete(l.buckets, src)
+			l.evicted++
 		}
 	}
+}
+
+// evictions reports buckets dropped by sweeps so far; nil-safe, so a
+// disabled limiter reads as zero.
+func (l *limiter) evictions() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.evicted
 }

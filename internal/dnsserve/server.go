@@ -8,11 +8,13 @@ import (
 	"net"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hoiho/internal/dnswire"
 	"hoiho/internal/geoloc"
 	"hoiho/internal/obs"
+	"hoiho/internal/qlog"
 )
 
 // Wire limits and loop timings. The read deadlines exist so the serve
@@ -45,11 +47,21 @@ type Config struct {
 	Burst float64
 	// Tracer records per-query spans and counters; nil is inert.
 	Tracer *obs.Tracer
+	// QueryLog, when non-nil, receives one sampled JSONL record per
+	// handled packet; its request id is also stamped on the query span.
+	// Nil (the zero value) disables logging at zero cost.
+	QueryLog *qlog.Logger
 	// Source and IndexOpts feed Reload; a nil Source makes Reload an
 	// error, matching a daemon started without a reloadable input.
 	Source    *geoloc.Source
 	IndexOpts geoloc.Options
 }
+
+// ednsBounds are the histogram bands for negotiated UDP response
+// limits: the RFC 1035 floor, the unfragmented-path EDNS default, and
+// a large-advertisement band; sizes above fall in +Inf. An array, not
+// a slice, so the Server's counter block can size itself from it.
+var ednsBounds = [3]float64{512, 1232, 4096}
 
 var errNoReloadSource = errors.New("dnsserve: no source configured for reload")
 
@@ -62,8 +74,20 @@ type Server struct {
 	live    *geoloc.Live
 	limiter *limiter
 	tracer  *obs.Tracer
+	qlog    *qlog.Logger
 
-	reloadMu sync.Mutex
+	// Reload lifecycle, mirroring geoserve's: outcome counters plus the
+	// build/swap latencies of the last successful swap.
+	reloadMu       sync.Mutex
+	reloads        atomic.Int64
+	reloadFailures atomic.Int64
+	lastBuildUS    atomic.Int64
+	lastSwapUS     atomic.Int64
+
+	// Negotiated UDP response-size histogram: per-band observation
+	// counts over ednsBounds (last slot is +Inf) and a byte sum.
+	ednsCounts [len(ednsBounds) + 1]atomic.Int64
+	ednsSum    atomic.Int64
 }
 
 // New builds a Server over the given index.
@@ -82,14 +106,72 @@ func New(ix *geoloc.Index, cfg Config) *Server {
 		live:    geoloc.NewLive(ix),
 		limiter: newLimiter(cfg.Rate, cfg.Burst),
 		tracer:  cfg.Tracer,
+		qlog:    cfg.QueryLog,
 	}
 }
 
 // Generation exposes the live index generation (for status lines).
 func (s *Server) Generation() uint64 { return s.live.Generation() }
 
+// Suffixes reports how many convention suffixes the live index serves.
+func (s *Server) Suffixes() int { return s.live.Index().Len() }
+
 // Stats snapshots the per-query counters accumulated so far.
 func (s *Server) Stats() map[string]int64 { return s.tracer.StageCounters(queryStage) }
+
+// IndexStats snapshots the live index's lookup counters. The counters
+// belong to the current generation: a reload swaps in a fresh index
+// whose counters start at zero.
+func (s *Server) IndexStats() geoloc.Stats { return s.live.Index().Stats() }
+
+// LimiterEvictions reports buckets dropped by capacity sweeps; zero
+// when rate limiting is disabled.
+func (s *Server) LimiterEvictions() uint64 { return s.limiter.evictions() }
+
+// ReloadStats is the reload-lifecycle snapshot the admin plane exports.
+type ReloadStats struct {
+	Generation  uint64
+	Reloads     int64
+	Failures    int64
+	LastBuildUS int64
+	LastSwapUS  int64
+}
+
+// ReloadStats snapshots the reload lifecycle counters.
+func (s *Server) ReloadStats() ReloadStats {
+	return ReloadStats{
+		Generation:  s.live.Generation(),
+		Reloads:     s.reloads.Load(),
+		Failures:    s.reloadFailures.Load(),
+		LastBuildUS: s.lastBuildUS.Load(),
+		LastSwapUS:  s.lastSwapUS.Load(),
+	}
+}
+
+// EDNSSizes snapshots the negotiated UDP response-size histogram:
+// per-band observation counts over bounds (one extra +Inf band at the
+// end) and the cumulative byte sum. TCP queries are not observed —
+// they carry no negotiated limit.
+func (s *Server) EDNSSizes() (bounds []float64, counts []int64, sumBytes int64) {
+	counts = make([]int64, len(s.ednsCounts))
+	for i := range s.ednsCounts {
+		counts[i] = s.ednsCounts[i].Load()
+	}
+	return ednsBounds[:], counts, s.ednsSum.Load()
+}
+
+// observeUDPLimit records one negotiated response limit.
+func (s *Server) observeUDPLimit(limit int) {
+	band := len(ednsBounds)
+	for i, b := range ednsBounds {
+		if float64(limit) <= b {
+			band = i
+			break
+		}
+	}
+	s.ednsCounts[band].Add(1)
+	s.ednsSum.Add(int64(limit))
+}
 
 // Reload resolves the configured source again, spot-checks the new
 // index against the live one, and swaps it in. Mirrors the geoserve
@@ -103,16 +185,24 @@ func (s *Server) Reload() (gen uint64, suffixes int, err error) {
 	defer s.reloadMu.Unlock()
 	sp := s.tracer.Start("reload")
 	defer sp.End()
+	t0 := time.Now()
 	resolved, err := s.cfg.Source.Resolve(s.cfg.IndexOpts)
 	if err != nil {
+		s.reloadFailures.Add(1)
 		sp.Count("failures", 1)
 		return 0, 0, err
 	}
+	buildUS := int64(time.Since(t0) / time.Microsecond)
+	t1 := time.Now()
 	if err := geoloc.SpotCheck(s.live.Index(), resolved.Index, spotCheckSamples); err != nil {
+		s.reloadFailures.Add(1)
 		sp.Count("failures", 1)
 		return 0, 0, err
 	}
 	_, gen = s.live.Swap(resolved.Index)
+	s.reloads.Add(1)
+	s.lastBuildUS.Store(buildUS)
+	s.lastSwapUS.Store(int64(time.Since(t1) / time.Microsecond))
 	sp.Count("suffixes", int64(resolved.Index.Len()))
 	return gen, resolved.Index.Len(), nil
 }
@@ -126,10 +216,33 @@ func (s *Server) HandlePacket(pkt []byte, src netip.Addr, tcp bool) (out []byte)
 	sp := s.tracer.Start(queryStage)
 	defer sp.End()
 	sp.Count("queries", 1)
+
+	// Query-log setup. A nil logger returns an empty id, and the whole
+	// record path stays allocation-free; with logging on, the record is
+	// filled as the outcome is decided and written by the same deferred
+	// function that converts panics to SERVFAIL, so a crashed handler
+	// still logs its query.
+	qr := qlog.Record{Front: "dns"}
+	var t0 time.Time
+	if id := s.qlog.NextID(); id != "" {
+		qr.ID = id
+		sp.SetAttr("request_id", id)
+		if src.IsValid() {
+			qr.Source = src.String()
+		}
+		t0 = time.Now()
+	}
 	defer func() {
 		if recover() != nil {
 			sp.Count("servfail", 1)
+			qr.Outcome = "servfail"
+			qr.Status = int(dnswire.RCodeServFail)
 			out = rawReply(pkt, dnswire.RCodeServFail)
+		}
+		if qr.ID != "" {
+			qr.DurUS = int64(time.Since(t0) / time.Microsecond)
+			qr.Generation = s.live.Generation()
+			s.qlog.Log(qr)
 		}
 	}()
 
@@ -137,17 +250,26 @@ func (s *Server) HandlePacket(pkt []byte, src netip.Addr, tcp bool) (out []byte)
 	// cost a message decode per flooded packet.
 	if !s.limiter.allow(src) {
 		sp.Count("refused", 1)
+		qr.Outcome = "refused"
+		qr.Status = int(dnswire.RCodeRefused)
 		return rawReply(pkt, dnswire.RCodeRefused)
 	}
 
 	q, err := dnswire.Unpack(pkt)
 	if err != nil {
 		sp.Count("formerr", 1)
+		qr.Outcome = "formerr"
+		qr.Status = int(dnswire.RCodeFormErr)
 		return rawReply(pkt, dnswire.RCodeFormErr)
 	}
 	if q.Response {
 		sp.Count("dropped", 1)
+		qr.Outcome = "dropped"
 		return nil // a response sent at a server is noise, not a query
+	}
+	if qr.ID != "" && len(q.Questions) > 0 {
+		qr.Hostname = q.Questions[0].Name
+		qr.Op = q.Questions[0].Type.String()
 	}
 
 	r := dnswire.Reply(q)
@@ -159,29 +281,37 @@ func (s *Server) HandlePacket(pkt []byte, src netip.Addr, tcp bool) (out []byte)
 	switch {
 	case q.Opcode != dnswire.OpcodeQuery:
 		sp.Count("notimp", 1)
+		qr.Outcome = "notimp"
 		r.RCode = dnswire.RCodeNotImp
 	case q.EDNS != nil && q.EDNS.Version > 0:
 		sp.Count("badvers", 1)
+		qr.Outcome = "badvers"
 		r.RCode = dnswire.RCodeBadVers
 	case len(q.Questions) != 1:
 		sp.Count("formerr", 1)
+		qr.Outcome = "formerr"
 		r.RCode = dnswire.RCodeFormErr
 	case q.Questions[0].Class != dnswire.ClassINET && q.Questions[0].Class != dnswire.ClassANY:
 		sp.Count("notimp", 1)
+		qr.Outcome = "notimp"
 		r.RCode = dnswire.RCodeNotImp
 	default:
-		s.answer(r, q.Questions[0], sp)
+		qr.Outcome = s.answer(r, q.Questions[0], sp)
 	}
+	qr.Status = int(r.RCode)
 
 	limit := dnswire.MaxMessageLen
 	if !tcp {
 		limit = s.udpLimit(q)
+		s.observeUDPLimit(limit)
 	}
 	out, err = r.PackTruncated(limit)
 	if err != nil {
 		// The question alone does not fit the negotiated size; answer
 		// with a header-only SERVFAIL rather than silence.
 		sp.Count("servfail", 1)
+		qr.Outcome = "servfail"
+		qr.Status = int(dnswire.RCodeServFail)
 		return rawReply(pkt, dnswire.RCodeServFail)
 	}
 	return out
@@ -205,13 +335,15 @@ func (s *Server) udpLimit(q *dnswire.Message) int {
 // location-encoding target name, LOC the coordinates, ANY all of
 // them. A located name asked an unsupported type gets an empty
 // authoritative NOERROR (NODATA); an unlocated name gets NXDOMAIN.
-func (s *Server) answer(r *dnswire.Message, question dnswire.Question, sp *obs.Span) {
+// The returned outcome names the counter it incremented, for the
+// query-log record.
+func (s *Server) answer(r *dnswire.Message, question dnswire.Question, sp *obs.Span) string {
 	sp.SetKey(question.Type.String())
 	g, ok := s.live.Index().Lookup(question.Name)
 	if !ok || g.Loc == nil {
 		sp.Count("nxdomain", 1)
 		r.RCode = dnswire.RCodeNXDomain
-		return
+		return "nxdomain"
 	}
 	wantAll := question.Type == dnswire.TypeANY
 	add := func(data dnswire.RData) {
@@ -233,9 +365,10 @@ func (s *Server) answer(r *dnswire.Message, question dnswire.Question, sp *obs.S
 	}
 	if len(r.Answers) == 0 {
 		sp.Count("nodata", 1) // located name, unsupported type
-		return
+		return "nodata"
 	}
 	sp.Count("noerror", 1)
+	return "noerror"
 }
 
 // rawReply builds a header-only response from the raw bytes of a

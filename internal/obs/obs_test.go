@@ -238,3 +238,121 @@ func TestStageCounters(t *testing.T) {
 		t.Error("nil tracer should yield nil")
 	}
 }
+
+// TestStageCountersConcurrent hammers StageCounters from readers while
+// writers fold spans in — run under -race this proves the snapshot
+// path takes the tracer lock. Counts must also come out exact: no
+// increment may be lost to a torn read.
+func TestStageCountersConcurrent(t *testing.T) {
+	tr := New(Options{})
+	const writers, perWriter = 8, 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers snapshot continuously until the writers finish.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m := tr.StageCounters("serve")
+				// Any observed value must be a multiple of nothing in
+				// particular, but never exceed the final total.
+				if m["queries"] > writers*perWriter {
+					t.Error("counter overshot final total")
+					return
+				}
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		ww.Add(1)
+		go func() {
+			defer ww.Done()
+			for j := 0; j < perWriter; j++ {
+				s := tr.Start("serve")
+				s.Count("queries", 1)
+				s.End()
+			}
+		}()
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if got := tr.StageCounters("serve")["queries"]; got != writers*perWriter {
+		t.Errorf("queries = %d, want %d", got, writers*perWriter)
+	}
+}
+
+// TestSetAttrExport checks both halves of the attrs contract: attrs
+// ride into TraceRecord.Attrs with last-write-wins semantics, and
+// spans that never call SetAttr serialize without the field at all —
+// so pre-attr golden traces stay byte-identical.
+func TestSetAttrExport(t *testing.T) {
+	tr := New(Options{Clock: FrozenClock, RetainSpans: true})
+	s := tr.Start("query")
+	s.SetAttr("request_id", "q1")
+	s.SetAttr("client", "127.0.0.1")
+	s.SetAttr("request_id", "q2") // overwrite, not duplicate
+	s.End()
+	plain := tr.Start("query")
+	plain.Count("hits", 1)
+	plain.End()
+
+	recs := tr.Export()
+	if len(recs) != 2 {
+		t.Fatalf("Export returned %d records, want 2", len(recs))
+	}
+	var withAttrs, without *TraceRecord
+	for i := range recs {
+		if len(recs[i].Attrs) > 0 {
+			withAttrs = &recs[i]
+		} else {
+			without = &recs[i]
+		}
+	}
+	if withAttrs == nil || without == nil {
+		t.Fatalf("expected one span with attrs and one without, got %+v", recs)
+	}
+	want := map[string]string{"request_id": "q2", "client": "127.0.0.1"}
+	if len(withAttrs.Attrs) != len(want) {
+		t.Fatalf("Attrs = %v, want %v", withAttrs.Attrs, want)
+	}
+	for k, v := range want {
+		if withAttrs.Attrs[k] != v {
+			t.Errorf("Attrs[%q] = %q, want %q", k, withAttrs.Attrs[k], v)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("WriteJSONL produced %d lines, want 2", len(lines))
+	}
+	var sawAttr, sawPlain bool
+	for _, ln := range lines {
+		if strings.Contains(ln, `"attrs"`) {
+			sawAttr = true
+			if !strings.Contains(ln, `"request_id":"q2"`) {
+				t.Errorf("attr line missing overwritten request_id: %s", ln)
+			}
+		} else {
+			sawPlain = true
+		}
+	}
+	if !sawAttr || !sawPlain {
+		t.Errorf("want one line with attrs and one without:\n%s", buf.String())
+	}
+
+	// SetAttr on a nil span is a no-op, like every other span method.
+	var nilSpan *Span
+	nilSpan.SetAttr("k", "v")
+}

@@ -1,0 +1,133 @@
+package promexp
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// sampleLine matches one exposition sample: metric name, optional
+// well-formed label set, and a float value.
+var sampleLine = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)` + // metric name
+		`(?:\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\["\\n])*"` + // first label
+		`(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\["\\n])*")*\})?` + // more labels
+		` ([0-9.eE+-]+|\+Inf|NaN)$`)
+
+// leLabelPat extracts the le label value from a bucket sample line.
+var leLabelPat = regexp.MustCompile(`le="([^"]*)"`)
+
+// Conform validates an exposition document against the invariants this
+// package promises: every sample's family is announced by HELP then
+// TYPE (each exactly once), sample lines and label escaping parse,
+// histogram bucket series ascend to +Inf with monotone cumulative
+// counts, and each histogram's _count equals its +Inf bucket. It is
+// the single format gate both geoserve's and geodns' endpoint tests
+// run, so the daemons cannot drift into different dialects.
+func Conform(body []byte) error {
+	helped := map[string]bool{}
+	typed := map[string]string{}
+	type bucket struct {
+		le  float64
+		val float64
+	}
+	buckets := map[string][]bucket{} // histogram family -> ordered buckets
+	counts := map[string]float64{}   // histogram family -> _count value
+
+	trimmed := strings.TrimRight(string(body), "\n")
+	if trimmed == "" {
+		return nil // nothing exposed is trivially conformant
+	}
+	for ln, line := range strings.Split(trimmed, "\n") {
+		if line == "" {
+			return fmt.Errorf("line %d: blank line in exposition", ln+1)
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 4 || fields[3] == "" {
+				return fmt.Errorf("line %d: malformed HELP: %q", ln+1, line)
+			}
+			helped[fields[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) != 4 {
+				return fmt.Errorf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			name, typ := fields[2], fields[3]
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				return fmt.Errorf("line %d: unknown type %q", ln+1, typ)
+			}
+			if !helped[name] {
+				return fmt.Errorf("line %d: TYPE %s before its HELP", ln+1, name)
+			}
+			if _, dup := typed[name]; dup {
+				return fmt.Errorf("line %d: duplicate TYPE for %s", ln+1, name)
+			}
+			typed[name] = typ
+			continue
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample: %q", ln+1, line)
+		}
+		name := m[1]
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && typed[base] == "histogram" {
+				family = base
+				break
+			}
+		}
+		typ, ok := typed[family]
+		if !ok {
+			return fmt.Errorf("line %d: sample %s has no TYPE", ln+1, name)
+		}
+		val, err := strconv.ParseFloat(m[2], 64)
+		if err != nil && m[2] != "+Inf" {
+			return fmt.Errorf("line %d: bad value %q", ln+1, m[2])
+		}
+		if typ == "histogram" && strings.HasSuffix(name, "_bucket") {
+			lm := leLabelPat.FindStringSubmatch(line)
+			if lm == nil {
+				return fmt.Errorf("line %d: bucket sample without le label: %q", ln+1, line)
+			}
+			le := math.Inf(1)
+			if lm[1] != "+Inf" {
+				if le, err = strconv.ParseFloat(lm[1], 64); err != nil {
+					return fmt.Errorf("line %d: bad le %q", ln+1, lm[1])
+				}
+			}
+			buckets[family] = append(buckets[family], bucket{le, val})
+		}
+		if typ == "histogram" && strings.HasSuffix(name, "_count") {
+			counts[family] = val
+		}
+	}
+
+	for _, family := range SortedKeys(buckets) {
+		bs := buckets[family]
+		if len(bs) < 2 {
+			return fmt.Errorf("%s: only %d buckets", family, len(bs))
+		}
+		if !math.IsInf(bs[len(bs)-1].le, 1) {
+			return fmt.Errorf("%s: bucket series does not end at +Inf", family)
+		}
+		for i := 1; i < len(bs); i++ {
+			if bs[i].le <= bs[i-1].le {
+				return fmt.Errorf("%s: le bounds not ascending: %v then %v", family, bs[i-1].le, bs[i].le)
+			}
+			if bs[i].val < bs[i-1].val {
+				return fmt.Errorf("%s: cumulative counts decrease: %v then %v", family, bs[i-1].val, bs[i].val)
+			}
+		}
+		if got := counts[family]; got != bs[len(bs)-1].val {
+			return fmt.Errorf("%s: _count %v != +Inf bucket %v", family, got, bs[len(bs)-1].val)
+		}
+	}
+	return nil
+}

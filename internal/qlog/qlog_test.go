@@ -1,0 +1,215 @@
+package qlog
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// frozen returns a clock pinned to a fixed instant, mirroring the
+// obs.FrozenClock contract so qlog output is byte-stable in goldens.
+func frozen(us int64) func() time.Time {
+	return func() time.Time { return time.UnixMicro(us) }
+}
+
+// TestRecordRendering pins the serialized bytes: fixed field order,
+// omitted empty optionals, quoted escaping.
+func TestRecordRendering(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := New(Options{W: &buf, Clock: frozen(1700000000000000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Log(Record{
+		Front:      "http",
+		Op:         "POST /v1/geolocate",
+		ID:         l.NextID(),
+		Hostname:   "ae-1.cr1.iad2.transitnet.net",
+		Source:     "192.0.2.7:4242",
+		Status:     200,
+		Outcome:    "ok",
+		DurUS:      137,
+		Generation: 3,
+	})
+	l.Log(Record{Front: "dns", Op: "TXT", Status: 3, Outcome: "nxdomain"})
+	want := `{"ts_us":1700000000000000,"id":"q1","front":"http","op":"POST /v1/geolocate",` +
+		`"hostname":"ae-1.cr1.iad2.transitnet.net","source":"192.0.2.7:4242",` +
+		`"status":200,"outcome":"ok","dur_us":137,"generation":3}` + "\n" +
+		`{"ts_us":1700000000000000,"front":"dns","op":"TXT","status":3,"outcome":"nxdomain","dur_us":0}` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("rendering:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// TestEscaping: hostnames and sources with JSON metacharacters must
+// not corrupt the line structure.
+func TestEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := New(Options{W: &buf, Clock: frozen(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Log(Record{Front: "http", Op: "GET /v1/explain", Hostname: "evil\"host\n.example"})
+	want := `{"ts_us":1,"front":"http","op":"GET /v1/explain","hostname":"evil\"host\n.example","dur_us":0}` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("escaping:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// TestSampling: 1-in-N keeps exactly the 1st, N+1th, ... records —
+// deterministic, not probabilistic.
+func TestSampling(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := New(Options{W: &buf, Sample: 3, Clock: frozen(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		l.Log(Record{Front: "dns", Op: "TXT"})
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 4 {
+		t.Errorf("kept %d of 10 at sample=3, want 4", got)
+	}
+	st := l.Stats()
+	if st.Logged != 4 || st.Skipped != 6 {
+		t.Errorf("stats = %+v, want logged=4 skipped=6", st)
+	}
+}
+
+// TestRotation: the live file never exceeds MaxBytes once rotation has
+// something to rotate; the previous generation survives as <path>.1.
+func TestRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "query.log")
+	l, err := New(Options{Path: path, MaxBytes: 200, Clock: frozen(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		l.Log(Record{Front: "http", Op: "POST /v1/geolocate", Outcome: "ok"})
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	live, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Size() > 200 {
+		t.Errorf("live file %d bytes exceeds MaxBytes=200", live.Size())
+	}
+	old, err := os.Stat(path + ".1")
+	if err != nil {
+		t.Fatalf("rotated file missing: %v", err)
+	}
+	if old.Size() == 0 {
+		t.Error("rotated file is empty")
+	}
+	if st := l.Stats(); st.Rotations == 0 {
+		t.Error("no rotations counted")
+	}
+}
+
+// TestAppendAcrossReopen: a reopened logger honors the existing file
+// size so MaxBytes bounds the file across restarts, not per process.
+func TestAppendAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "query.log")
+	for i := 0; i < 2; i++ {
+		l, err := New(Options{Path: path, Clock: frozen(1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Log(Record{Front: "dns", Op: "TXT"})
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(data), "\n"); got != 2 {
+		t.Errorf("file has %d lines after two sessions, want 2", got)
+	}
+}
+
+// TestNilLoggerZeroAlloc is the acceptance criterion: with qlog
+// disabled (nil logger), the per-query calls handlers make must not
+// allocate at all.
+func TestNilLoggerZeroAlloc(t *testing.T) {
+	var l *Logger
+	r := Record{Front: "http", Op: "POST /v1/geolocate", Hostname: "h", Status: 200, DurUS: 5}
+	allocs := testing.AllocsPerRun(1000, func() {
+		id := l.NextID()
+		_ = id
+		l.Log(r)
+		_ = l.Enabled()
+		_ = l.Stats()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled path allocates %v per query, want 0", allocs)
+	}
+}
+
+// TestNilSafety: every method on a nil logger is a no-op, including
+// Close.
+func TestNilSafety(t *testing.T) {
+	var l *Logger
+	if l.Enabled() {
+		t.Error("nil logger reports enabled")
+	}
+	if id := l.NextID(); id != "" {
+		t.Errorf("nil NextID = %q, want empty", id)
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("nil Close = %v", err)
+	}
+	if st := l.Stats(); st != (Stats{}) {
+		t.Errorf("nil Stats = %+v", st)
+	}
+}
+
+// TestOptionValidation: exactly one sink.
+func TestOptionValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Error("no sink accepted")
+	}
+	if _, err := New(Options{Path: "x", W: &bytes.Buffer{}}); err == nil {
+		t.Error("two sinks accepted")
+	}
+}
+
+// TestConcurrentLog: records from concurrent writers interleave as
+// whole lines (run under -race in CI).
+func TestConcurrentLog(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := New(Options{W: &buf, Clock: frozen(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Log(Record{Front: "dns", Op: "TXT", ID: l.NextID()})
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
+	}
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, `{"ts_us":`) || !strings.HasSuffix(ln, "}") {
+			t.Fatalf("torn line: %q", ln)
+		}
+	}
+}
